@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+These do not correspond to a paper experiment; they track the cost of the
+building blocks (vectorized deterministic scan, slot-loop randomized engine,
+waking-matrix membership queries) so performance regressions in the substrate
+are visible separately from the experiment-level numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.adversary import simultaneous_pattern, uniform_random_pattern
+from repro.channel.simulator import run_deterministic, run_randomized
+from repro.core.randomized import RepeatedProbabilityDecrease
+from repro.core.round_robin import RoundRobin
+from repro.core.scenario_c import WakeupProtocol
+from repro.core.selective import concatenated_families
+from repro.core.scenario_b import WakeupWithK
+
+
+def test_benchmark_round_robin_simulation(benchmark):
+    """Vectorized simulation of round-robin with 64 contenders out of 1024."""
+    protocol = RoundRobin(1024)
+    pattern = uniform_random_pattern(1024, 64, window=256, rng=0)
+    result = benchmark(lambda: run_deterministic(protocol, pattern))
+    assert result.solved
+
+
+def test_benchmark_wakeup_with_k_simulation(benchmark):
+    """Simulation of wakeup_with_k (n=256, k=16) on a random pattern."""
+    families = concatenated_families(256, 16, rng=1)
+    protocol = WakeupWithK(256, 16, families=families)
+    pattern = uniform_random_pattern(256, 16, window=64, rng=1)
+    result = benchmark(lambda: run_deterministic(protocol, pattern))
+    assert result.solved
+
+
+def test_benchmark_scenario_c_simulation(benchmark):
+    """Simulation of the waking-matrix protocol (n=256, k=32)."""
+    protocol = WakeupProtocol(256, seed=2)
+    pattern = uniform_random_pattern(256, 32, window=128, rng=2)
+    result = benchmark(lambda: run_deterministic(protocol, pattern))
+    assert result.solved
+
+
+def test_benchmark_randomized_engine(benchmark):
+    """Slot-loop engine with the RPD policy (n=1024, k=32)."""
+    policy = RepeatedProbabilityDecrease(1024)
+    pattern = simultaneous_pattern(1024, 32, rng=3)
+    rng = np.random.default_rng(3)
+    result = benchmark(lambda: run_randomized(policy, pattern, rng=rng, max_slots=100_000))
+    assert result.solved
+
+
+def test_benchmark_waking_matrix_membership(benchmark):
+    """One million membership queries against the hashed waking matrix."""
+    protocol = WakeupProtocol(1024, seed=4)
+    matrix = protocol.matrix
+    columns = np.arange(1_000_000, dtype=np.int64)
+
+    def query():
+        return int(matrix.membership_for_station(17, 3, columns).sum())
+
+    hits = benchmark(query)
+    assert hits > 0

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one experiment from the registry (see DESIGN.md's
+experiment index) at the ``QUICK`` scale, so a full ``pytest benchmarks/
+--benchmark-only`` run takes on the order of a minute.  The experiment
+machinery itself accepts larger scales; regenerate the numbers recorded in
+EXPERIMENTS.md with ``python -m repro.experiments.report --scale standard``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cache import FamilyCache
+from repro.experiments.config import QUICK
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The experiment scale used by the benchmark harness."""
+    return QUICK
+
+
+@pytest.fixture(scope="session")
+def family_cache():
+    """A benchmark-session-wide cache of selective-family constructions."""
+    return FamilyCache()
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    Experiments are too slow for repeated benchmark rounds; one round is
+    enough to record their wall-clock cost alongside the correctness outcome.
+    """
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

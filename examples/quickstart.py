@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: run the paper's three wake-up algorithms on one wake-up pattern.
+
+The multiple-access channel has ``n`` attached stations; an unknown subset of
+them wakes up at arbitrary times and the goal is to reach a slot in which
+exactly one awake station transmits.  This script builds the three protocols
+of De Marco & Kowalski (one per knowledge scenario), runs each against the
+same wake-up pattern, and prints where the first successful transmission
+happened.
+
+Run with:
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    WakeupPattern,
+    WakeupProtocol,
+    WakeupWithK,
+    WakeupWithS,
+    run_deterministic,
+    scenario_ab_bound,
+    scenario_c_bound,
+)
+from repro.reporting import TextTable
+
+
+def main() -> None:
+    n = 128               # stations attached to the channel
+    k_bound = 8           # upper bound on simultaneous contenders (Scenario B knows this)
+    seed = 2024
+
+    # Five stations wake up at different times; slot 0 is the first wake-up,
+    # which Scenario A is allowed to know.
+    pattern = WakeupPattern(n, {17: 0, 42: 0, 63: 3, 91: 7, 110: 12})
+    print(f"wake-up pattern: {pattern.describe()}")
+    print(f"  wake times    : {dict(sorted(pattern.wake_times.items()))}")
+    print()
+
+    protocols = {
+        "Scenario A — wakeup_with_s (knows s)": WakeupWithS(n, s=pattern.first_wake, rng=seed),
+        "Scenario B — wakeup_with_k (knows k)": WakeupWithK(n, k_bound, rng=seed),
+        "Scenario C — wakeup(n)     (knows nothing)": WakeupProtocol(n, seed=seed),
+    }
+
+    table = TextTable(
+        ["protocol", "success slot", "latency (t - s)", "winner", "theoretical bound"]
+    )
+    for name, protocol in protocols.items():
+        result = run_deterministic(protocol, pattern)
+        bound = (
+            scenario_c_bound(n, pattern.k)
+            if "Scenario C" in name
+            else scenario_ab_bound(n, pattern.k)
+        )
+        table.add_row(
+            [name, result.success_slot, result.require_solved(), result.winner, round(bound, 1)]
+        )
+    print(table.render())
+    print()
+    print(
+        "Every protocol reaches a collision-free slot; the bounds are the asymptotic\n"
+        "targets Θ(k log(n/k) + 1) (Scenarios A/B) and O(k log n log log n) (Scenario C)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on toolchains that fall back to the legacy
+``setup.py develop`` code path (e.g. offline environments without the
+``wheel`` package available for PEP 660 editable builds).
+"""
+
+from setuptools import setup
+
+setup()

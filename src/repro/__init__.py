@@ -1,0 +1,137 @@
+"""repro — reproduction of *Contention Resolution in a Non-Synchronized Multiple Access Channel*.
+
+The library implements the deterministic wake-up (contention-resolution)
+algorithms of De Marco & Kowalski (IPDPS 2013) together with everything they
+stand on: a slotted multiple-access channel simulator, selective-family and
+waking-matrix constructions, adversarial wake-up pattern generators, classical
+baselines, and the analysis/benchmark harness that validates every bound the
+paper states.
+
+Quickstart
+----------
+
+>>> from repro import WakeupWithK, WakeupPattern, run_deterministic
+>>> protocol = WakeupWithK(n=64, k=8, rng=0)          # Scenario B: k known
+>>> pattern = WakeupPattern(64, {5: 0, 17: 3, 40: 9})  # three stations wake up
+>>> result = run_deterministic(protocol, pattern)
+>>> result.solved, result.winner is not None
+(True, True)
+
+The three scenarios of the paper map to three protocol classes:
+
+========  ======================  ======================================
+Scenario  Knowledge               Protocol class
+========  ======================  ======================================
+A         start time ``s``        :class:`repro.core.scenario_a.WakeupWithS`
+B         contender bound ``k``   :class:`repro.core.scenario_b.WakeupWithK`
+C         nothing (only ``n``)    :class:`repro.core.scenario_c.WakeupProtocol`
+========  ======================  ======================================
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured record of every experiment.
+"""
+
+from repro.channel import (
+    Channel,
+    CollisionDetection,
+    DeterministicProtocol,
+    ExecutionTrace,
+    FeedbackSignal,
+    NoCollisionDetection,
+    RandomizedPolicy,
+    Simulator,
+    SlotOutcome,
+    WakeupPattern,
+    WakeupResult,
+    run_deterministic,
+    run_randomized,
+)
+from repro.channel.adversary import (
+    AdaptiveLowerBoundAdversary,
+    batched_pattern,
+    simultaneous_pattern,
+    staggered_pattern,
+    uniform_random_pattern,
+    worst_case_search,
+)
+from repro.core import (
+    FixedProbabilityPolicy,
+    HashedTransmissionMatrix,
+    InterleavedProtocol,
+    RepeatedProbabilityDecrease,
+    RoundRobin,
+    SelectAmongTheFirst,
+    SelectiveFamily,
+    WaitAndGo,
+    WakeupProtocol,
+    WakeupWithK,
+    WakeupWithS,
+    build_selective_family,
+    concatenated_families,
+    matrix_parameters,
+    random_selective_family,
+    scenario_ab_bound,
+    scenario_c_bound,
+    trivial_lower_bound,
+)
+from repro.experiments import (
+    EXPERIMENTS,
+    QUICK,
+    STANDARD,
+    FULL,
+    generate_experiments_report,
+    run_experiment,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # channel substrate
+    "Channel",
+    "CollisionDetection",
+    "DeterministicProtocol",
+    "ExecutionTrace",
+    "FeedbackSignal",
+    "NoCollisionDetection",
+    "RandomizedPolicy",
+    "Simulator",
+    "SlotOutcome",
+    "WakeupPattern",
+    "WakeupResult",
+    "run_deterministic",
+    "run_randomized",
+    # adversaries / patterns
+    "AdaptiveLowerBoundAdversary",
+    "batched_pattern",
+    "simultaneous_pattern",
+    "staggered_pattern",
+    "uniform_random_pattern",
+    "worst_case_search",
+    # core algorithms
+    "FixedProbabilityPolicy",
+    "HashedTransmissionMatrix",
+    "InterleavedProtocol",
+    "RepeatedProbabilityDecrease",
+    "RoundRobin",
+    "SelectAmongTheFirst",
+    "SelectiveFamily",
+    "WaitAndGo",
+    "WakeupProtocol",
+    "WakeupWithK",
+    "WakeupWithS",
+    "build_selective_family",
+    "concatenated_families",
+    "matrix_parameters",
+    "random_selective_family",
+    "scenario_ab_bound",
+    "scenario_c_bound",
+    "trivial_lower_bound",
+    # experiments
+    "EXPERIMENTS",
+    "QUICK",
+    "STANDARD",
+    "FULL",
+    "generate_experiments_report",
+    "run_experiment",
+    "__version__",
+]

@@ -1,0 +1,146 @@
+"""Shared internal utilities for the :mod:`repro` package.
+
+This module collects small helpers used throughout the library:
+
+* integer math used by the paper's bounds (``log2`` variants that are safe at
+  the boundary values the paper glosses over with "we omit floors/ceilings"),
+* validation helpers that convert user errors into clear exceptions,
+* deterministic random-generator plumbing (every stochastic construction in
+  the library takes a seed or an ``numpy.random.Generator`` so results are
+  reproducible bit-for-bit).
+
+Nothing in here is part of the public API; the public surface re-exports only
+what is documented in :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "RngLike",
+    "as_generator",
+    "ceil_log2",
+    "floor_log2",
+    "ceil_div",
+    "log2_safe",
+    "loglog2_safe",
+    "validate_station_id",
+    "validate_station_ids",
+    "validate_positive_int",
+    "validate_k_n",
+    "ensure_sorted_unique",
+]
+
+#: Anything acceptable as a source of randomness: ``None`` (fresh entropy),
+#: an integer seed, or an already-constructed :class:`numpy.random.Generator`.
+RngLike = Union[None, int, np.random.Generator]
+
+
+def as_generator(rng: RngLike) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed-like value.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for OS entropy, an ``int`` seed for reproducible streams, or
+        an existing generator (returned unchanged).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def ceil_log2(x: int) -> int:
+    """Return ``ceil(log2(x))`` for a positive integer ``x``.
+
+    ``ceil_log2(1) == 0``.  Raises :class:`ValueError` for ``x < 1``.
+    """
+    if x < 1:
+        raise ValueError(f"ceil_log2 requires x >= 1, got {x}")
+    return (x - 1).bit_length()
+
+
+def floor_log2(x: int) -> int:
+    """Return ``floor(log2(x))`` for a positive integer ``x``."""
+    if x < 1:
+        raise ValueError(f"floor_log2 requires x >= 1, got {x}")
+    return x.bit_length() - 1
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division ``ceil(a / b)`` for ``b > 0``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div requires b > 0, got {b}")
+    return -(-a // b)
+
+
+def log2_safe(x: float) -> float:
+    """``log2(x)`` clamped to be at least 1.
+
+    The paper's bounds use expressions such as ``k log(n/k)`` that collapse to
+    zero at ``k == n``; following the paper's convention (``Θ(k log(n/k)+1)``)
+    we never let the logarithmic factor drop below 1 so that bound formulas
+    stay positive and comparable.
+    """
+    if x <= 1.0:
+        return 1.0
+    return math.log2(x)
+
+
+def loglog2_safe(x: float) -> float:
+    """``log2(log2(x))`` clamped to be at least 1 (see :func:`log2_safe`)."""
+    return log2_safe(log2_safe(x))
+
+
+def validate_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive ``int`` and return it."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def validate_station_id(station: int, n: int) -> int:
+    """Validate a station ID against the universe ``[1, n]``.
+
+    The paper indexes stations ``1..n``; the library follows that convention
+    everywhere in the public API (internal arrays are 0-based).
+    """
+    if not isinstance(station, (int, np.integer)) or isinstance(station, bool):
+        raise TypeError(f"station ID must be an integer, got {type(station).__name__}")
+    station = int(station)
+    if not 1 <= station <= n:
+        raise ValueError(f"station ID must be in [1, {n}], got {station}")
+    return station
+
+
+def validate_station_ids(stations: Iterable[int], n: int) -> list[int]:
+    """Validate a collection of station IDs, returning them as a list."""
+    out = [validate_station_id(s, n) for s in stations]
+    if len(set(out)) != len(out):
+        raise ValueError("station IDs must be distinct")
+    return out
+
+
+def validate_k_n(k: int, n: int) -> tuple[int, int]:
+    """Validate the pair ``(k, n)`` with ``1 <= k <= n``."""
+    n = validate_positive_int(n, "n")
+    k = validate_positive_int(k, "k")
+    if k > n:
+        raise ValueError(f"k must satisfy 1 <= k <= n, got k={k}, n={n}")
+    return k, n
+
+
+def ensure_sorted_unique(values: Sequence[int], name: str = "values") -> list[int]:
+    """Return a sorted list of distinct integers, validating uniqueness."""
+    out = sorted(int(v) for v in values)
+    for a, b in zip(out, out[1:]):
+        if a == b:
+            raise ValueError(f"{name} must be distinct; {a} appears more than once")
+    return out

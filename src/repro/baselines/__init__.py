@@ -1,0 +1,35 @@
+"""Baseline contention-resolution protocols used for comparison experiments.
+
+None of these are contributions of the paper; they are the classical
+algorithms the paper positions itself against, implemented on the same
+simulator so that experiment E9 can produce like-for-like comparisons:
+
+* :mod:`repro.baselines.tdma` — time-division multiplexing (round-robin
+  anchored at the global clock), the "simplest schedule" the paper mentions;
+* :mod:`repro.baselines.aloha` — slotted ALOHA with a fixed or ``1/k``-tuned
+  transmission probability;
+* :mod:`repro.baselines.backoff` — binary exponential backoff (requires
+  collision detection, unlike the paper's algorithms);
+* :mod:`repro.baselines.tree_splitting` — Capetanakis/Tsybakov–Mikhailov tree
+  splitting (also requires collision detection);
+* :mod:`repro.baselines.komlos_greenberg` — the synchronized-start
+  selective-family schedule of Komlós & Greenberg, i.e. "wait_and_go without
+  the waiting", which is only correct when all contenders wake together.
+"""
+
+from repro.baselines.tdma import TDMA
+from repro.baselines.aloha import SlottedAloha, tuned_aloha
+from repro.baselines.backoff import BinaryExponentialBackoff
+from repro.baselines.tree_splitting import TreeSplitting
+from repro.baselines.komlos_greenberg import KomlosGreenberg
+from repro.baselines.unknown_n import DoublingRoundRobin
+
+__all__ = [
+    "TDMA",
+    "SlottedAloha",
+    "tuned_aloha",
+    "BinaryExponentialBackoff",
+    "TreeSplitting",
+    "KomlosGreenberg",
+    "DoublingRoundRobin",
+]

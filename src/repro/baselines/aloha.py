@@ -1,0 +1,52 @@
+"""Slotted ALOHA baselines.
+
+Slotted ALOHA (Abramson's system, reference [1] of the paper) is the origin of
+the whole multiple-access literature: every backlogged station transmits in
+every slot with a fixed probability ``p``.  Contention resolves quickly only
+when ``p ≈ 1/k`` where ``k`` is the number of contenders — the point the
+paper's deterministic algorithms remove the need to know.
+
+Two variants are provided:
+
+* :class:`SlottedAloha` — fixed ``p`` chosen by the caller;
+* :func:`tuned_aloha` — the genie-aided variant with ``p = 1/k`` for a known
+  ``k``, which is the strongest version of the strawman and therefore the
+  fairest baseline for experiment E9.
+"""
+
+from __future__ import annotations
+
+from repro._util import validate_k_n
+from repro.channel.protocols import RandomizedPolicy, StationState
+
+__all__ = ["SlottedAloha", "tuned_aloha"]
+
+
+class SlottedAloha(RandomizedPolicy):
+    """Transmit with a fixed probability ``p`` in every slot while awake."""
+
+    name = "slotted-aloha"
+
+    def __init__(self, n: int, p: float) -> None:
+        super().__init__(n)
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"p must be in (0, 1], got {p}")
+        self.p = float(p)
+
+    def transmit_probability(self, state: StationState, slot: int) -> float:
+        return self.p
+
+    def describe(self) -> str:
+        return f"{self.name}(n={self.n}, p={self.p:.4g})"
+
+
+def tuned_aloha(n: int, k: int) -> SlottedAloha:
+    """Genie-aided slotted ALOHA with ``p = 1/k`` (requires knowing ``k``).
+
+    With ``k`` simultaneous contenders a slot succeeds with probability
+    ``k·p·(1-p)^{k-1} → 1/e``, so the expected latency is the constant ``e``
+    — the benchmark harness uses it as the "if only you knew k exactly"
+    reference line.
+    """
+    k, n = validate_k_n(k, n)
+    return SlottedAloha(n, 1.0 / k)

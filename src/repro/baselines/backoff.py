@@ -1,0 +1,76 @@
+"""Binary exponential backoff (BEB) — the Ethernet-style baseline.
+
+BEB is the contention-resolution strategy of classical Ethernet: after its
+``c``-th collision a station waits a uniformly random number of slots from
+``{0, ..., 2^c - 1}`` before transmitting again.  Two modelling notes matter
+for a fair comparison with the paper's algorithms:
+
+* BEB is **feedback-driven**: a station must learn that its transmission
+  collided.  The paper's channel provides no collision detection, so BEB is
+  run under the :class:`~repro.channel.feedback.CollisionDetection` model
+  (``requires_collision_detection = True``) and the comparison tables flag it
+  as using a strictly stronger channel.
+* BEB never terminates by itself; the simulation ends at the first successful
+  slot, exactly as for every other protocol (the wake-up problem only asks
+  for one success).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro._util import RngLike, as_generator
+from repro.channel.feedback import FeedbackSignal
+from repro.channel.protocols import RandomizedPolicy, StationState
+
+__all__ = ["BinaryExponentialBackoff"]
+
+
+class BinaryExponentialBackoff(RandomizedPolicy):
+    """Binary exponential backoff over the slotted channel.
+
+    Parameters
+    ----------
+    n:
+        Universe size.
+    max_exponent:
+        Cap on the backoff exponent (Ethernet uses 10); the contention window
+        after ``c`` collisions is ``2^min(c, max_exponent)``.
+    rng:
+        Seed for the per-station backoff draws (kept inside the policy so the
+        protocol stays reproducible independent of the simulator's RNG).
+    """
+
+    name = "binary-exponential-backoff"
+    requires_collision_detection = True
+
+    def __init__(self, n: int, *, max_exponent: int = 10, rng: RngLike = None) -> None:
+        super().__init__(n)
+        if max_exponent < 0:
+            raise ValueError(f"max_exponent must be >= 0, got {max_exponent}")
+        self.max_exponent = int(max_exponent)
+        self._rng = as_generator(rng)
+
+    def create_state(self, station: int, wake_time: int) -> StationState:
+        state = super().create_state(station, wake_time)
+        state.extra["collisions"] = 0
+        # A freshly awake station transmits immediately (backoff 0).
+        state.extra["next_attempt"] = wake_time
+        return state
+
+    def transmit_probability(self, state: StationState, slot: int) -> float:
+        return 1.0 if slot >= state.extra["next_attempt"] else 0.0
+
+    def observe(
+        self, state: StationState, slot: int, signal: FeedbackSignal, transmitted: bool
+    ) -> None:
+        super().observe(state, slot, signal, transmitted)
+        if transmitted and signal is FeedbackSignal.COLLISION:
+            state.extra["collisions"] = min(state.extra["collisions"] + 1, self.max_exponent)
+            window = 2 ** state.extra["collisions"]
+            state.extra["next_attempt"] = slot + 1 + int(self._rng.integers(0, window))
+
+    def describe(self) -> str:
+        return f"{self.name}(n={self.n}, max_exponent={self.max_exponent})"

@@ -1,0 +1,63 @@
+"""Time-division multiplexing (TDMA): the trivial schedule the paper starts from.
+
+TDMA is round-robin anchored at the global clock — slot ``t`` belongs to
+station ``(t mod n) + 1`` — and is the schedule the paper's introduction
+dismisses as "very inefficient when the maximum number k of possible awaken
+stations is very small compared to n".  It coincides with
+:class:`repro.core.round_robin.RoundRobin`; the separate class exists so that
+comparison tables can list it under its usual systems name and so that users
+can configure a frame length larger than ``n`` (guard slots, as real TDMA
+deployments do).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import validate_positive_int
+from repro.channel.protocols import DeterministicProtocol
+
+__all__ = ["TDMA"]
+
+
+class TDMA(DeterministicProtocol):
+    """Fixed-assignment TDMA with an optional frame length ``>= n``.
+
+    Parameters
+    ----------
+    n:
+        Number of stations.
+    frame:
+        Frame length; station ``u`` owns slot ``u - 1`` of every frame and the
+        remaining ``frame - n`` slots (if any) are guard slots nobody owns.
+        Defaults to ``n`` (classic round-robin).
+    """
+
+    name = "tdma"
+
+    def __init__(self, n: int, *, frame: int = 0) -> None:
+        super().__init__(n)
+        frame = frame or n
+        frame = validate_positive_int(frame, "frame")
+        if frame < n:
+            raise ValueError(f"frame length {frame} cannot be shorter than n={n}")
+        self.frame = frame
+
+    def transmits(self, station: int, wake_time: int, slot: int) -> bool:
+        if slot < wake_time:
+            return False
+        return slot % self.frame == station - 1
+
+    def transmit_slots(self, station: int, wake_time: int, start: int, stop: int) -> np.ndarray:
+        lo = max(int(start), int(wake_time))
+        hi = int(stop)
+        if hi <= lo:
+            return np.empty(0, dtype=np.int64)
+        phase = station - 1
+        first = lo + ((phase - lo) % self.frame)
+        if first >= hi:
+            return np.empty(0, dtype=np.int64)
+        return np.arange(first, hi, self.frame, dtype=np.int64)
+
+    def describe(self) -> str:
+        return f"{self.name}(n={self.n}, frame={self.frame})"

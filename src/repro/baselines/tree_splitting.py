@@ -1,0 +1,66 @@
+"""Capetanakis-style binary tree splitting (stack algorithm).
+
+Tree algorithms (Capetanakis 1979, reference [4] of the paper) resolve
+contention by recursively splitting the set of colliding stations: after a
+collision each involved station flips a fair coin; the "left" group retries
+immediately while the "right" group waits until the left group has been fully
+resolved.  The standard stack/counter implementation is used here:
+
+* every station keeps a counter ``c`` (0 = allowed to transmit now);
+* on a **collision**: stations with ``c = 0`` flip a coin — heads stay at 0,
+  tails move to 1 — while every station with ``c > 0`` increments;
+* on a **success or idle** slot: every station with ``c > 0`` decrements.
+
+The algorithm requires ternary feedback (idle / success / collision), i.e. the
+collision-detection channel the paper explicitly does *not* assume — the
+comparison tables flag this.  New arrivals join with ``c = 0`` (the
+"free-access" variant), which is the natural choice for the non-synchronized
+wake-up workloads we benchmark.
+"""
+
+from __future__ import annotations
+
+from repro._util import RngLike, as_generator
+from repro.channel.feedback import FeedbackSignal
+from repro.channel.protocols import RandomizedPolicy, StationState
+
+__all__ = ["TreeSplitting"]
+
+
+class TreeSplitting(RandomizedPolicy):
+    """Binary tree splitting with free access (counter/stack formulation)."""
+
+    name = "tree-splitting"
+    requires_collision_detection = True
+
+    def __init__(self, n: int, *, rng: RngLike = None) -> None:
+        super().__init__(n)
+        self._rng = as_generator(rng)
+
+    def create_state(self, station: int, wake_time: int) -> StationState:
+        state = super().create_state(station, wake_time)
+        state.extra["counter"] = 0
+        return state
+
+    def transmit_probability(self, state: StationState, slot: int) -> float:
+        return 1.0 if state.extra["counter"] == 0 else 0.0
+
+    def observe(
+        self, state: StationState, slot: int, signal: FeedbackSignal, transmitted: bool
+    ) -> None:
+        super().observe(state, slot, signal, transmitted)
+        counter = state.extra["counter"]
+        if signal is FeedbackSignal.COLLISION:
+            if counter == 0:
+                # The station was involved in the collision: split by coin flip.
+                if self._rng.random() < 0.5:
+                    state.extra["counter"] = 1
+            else:
+                state.extra["counter"] = counter + 1
+        else:
+            # Idle or success: the sub-tree at the top of the stack is resolved.
+            if counter > 0:
+                state.extra["counter"] = counter - 1
+
+    def describe(self) -> str:
+        return f"{self.name}(n={self.n})"

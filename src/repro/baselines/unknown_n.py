@@ -1,0 +1,107 @@
+"""Wake-up with unknown universe size: the doubling round-robin baseline.
+
+The paper's related-work section cites Gąsieniec, Pelc and Peleg for the
+globally synchronous model: with known ``n`` a schedule of length ``n``
+(round-robin) is optimal, and with *unknown* ``n`` they give a ``4n``-time
+algorithm.  The standard way to remove the knowledge of ``n`` is doubling:
+the timeline is divided into epochs; epoch ``e`` assumes the universe size is
+``2^e`` and runs a round-robin over IDs ``1..2^e``.  A station with ID ``u``
+only participates in epochs with ``2^e >= u``; the first epoch whose guess
+reaches the largest awake ID yields a successful slot, and the total time is
+at most ``1 + 2 + ... + 2^e* + 2^{e*} <= 4·id_max`` — the ``4n`` shape cited
+by the paper.
+
+The class is a baseline/extension: none of the paper's three scenarios need
+it (they all know ``n``), but it lets the library express the "no parameter
+known at all" corner and is used in tests as another oblivious deterministic
+protocol exercising the schedule machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import ceil_log2, validate_positive_int
+from repro.channel.protocols import DeterministicProtocol
+
+__all__ = ["DoublingRoundRobin"]
+
+
+class DoublingRoundRobin(DeterministicProtocol):
+    """Epoch-doubling round-robin for an unknown number of attached stations.
+
+    Parameters
+    ----------
+    n:
+        The *actual* universe size used by the simulator for validation; the
+        protocol itself never uses it to decide transmissions (decisions only
+        depend on the station's own ID and the global time), which is the
+        point of the construction.
+
+    Notes
+    -----
+    Epoch ``e`` (0-based) occupies the ``2^e`` global slots
+    ``[2^e - 1, 2^{e+1} - 1)`` and runs round-robin over IDs ``1..2^e``:
+    slot ``2^e - 1 + i`` belongs to station ``i + 1``.  A station transmits in
+    an epoch only if its ID fits the epoch's guess and it is awake.
+    """
+
+    name = "doubling-round-robin"
+
+    def __init__(self, n: int) -> None:
+        super().__init__(validate_positive_int(n, "n"))
+
+    @staticmethod
+    def epoch_of(slot: int) -> int:
+        """Epoch index containing ``slot`` (epoch e covers [2^e - 1, 2^{e+1} - 1))."""
+        if slot < 0:
+            raise ValueError(f"slot must be >= 0, got {slot}")
+        return (slot + 1).bit_length() - 1
+
+    @staticmethod
+    def epoch_start(epoch: int) -> int:
+        """First global slot of ``epoch``."""
+        if epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {epoch}")
+        return (1 << epoch) - 1
+
+    def owner_of(self, slot: int) -> int:
+        """The station ID that owns ``slot`` (it may exceed every real ID)."""
+        epoch = self.epoch_of(slot)
+        return slot - self.epoch_start(epoch) + 1
+
+    def transmits(self, station: int, wake_time: int, slot: int) -> bool:
+        if slot < wake_time:
+            return False
+        return self.owner_of(slot) == station
+
+    def transmit_slots(self, station: int, wake_time: int, start: int, stop: int) -> np.ndarray:
+        lo = max(int(start), int(wake_time))
+        hi = int(stop)
+        if hi <= lo:
+            return np.empty(0, dtype=np.int64)
+        slots = []
+        # The station owns exactly one slot per epoch whose guess covers its ID.
+        first_epoch = max(0, ceil_log2(max(1, station)))
+        epoch = first_epoch
+        while True:
+            slot = self.epoch_start(epoch) + station - 1
+            if slot >= hi:
+                break
+            if slot >= lo:
+                slots.append(slot)
+            epoch += 1
+        return np.asarray(slots, dtype=np.int64)
+
+    def worst_case_latency(self, max_id: int) -> int:
+        """Upper bound on the latency when the largest awake ID is ``max_id``.
+
+        The first epoch that covers ``max_id`` ends before slot
+        ``2^{⌈log max_id⌉ + 1} - 1 <= 4·max_id``, matching the cited ``4n`` bound.
+        """
+        max_id = validate_positive_int(max_id, "max_id")
+        epoch = ceil_log2(max_id) if max_id > 1 else 0
+        return self.epoch_start(epoch + 1)
+
+    def describe(self) -> str:
+        return f"{self.name}(n={self.n})"

@@ -1,0 +1,62 @@
+"""Clock models: what round number a station sees.
+
+The paper distinguishes the *globally synchronous* model (every station reads
+the same global round number — the setting of all three scenarios studied)
+from the *locally synchronous* model (each station counts rounds from its own
+wake-up).  All of the paper's algorithms assume the global clock; the local
+clock is provided so that baseline comparisons (e.g. against the locally
+synchronous `O(k log² n)` protocol cited from Chlebus et al.) and ablations
+("what breaks without a global clock") can be expressed in the same framework.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+__all__ = ["Clock", "GlobalClock", "LocalClock"]
+
+
+class Clock(ABC):
+    """Maps absolute simulation time to the round number a station perceives."""
+
+    #: Human-readable name used in reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def perceived_round(self, *, global_slot: int, wake_time: int) -> int:
+        """Round number that a station woken at ``wake_time`` sees at ``global_slot``.
+
+        Raises :class:`ValueError` if the station is not yet awake.
+        """
+
+    def _check_awake(self, global_slot: int, wake_time: int) -> None:
+        if global_slot < wake_time:
+            raise ValueError(
+                f"station is not awake at slot {global_slot} (wakes at {wake_time})"
+            )
+
+
+@dataclass(frozen=True)
+class GlobalClock(Clock):
+    """The paper's setting: every station reads the true global round number."""
+
+    name: str = "global"
+
+    def perceived_round(self, *, global_slot: int, wake_time: int) -> int:
+        self._check_awake(global_slot, wake_time)
+        return global_slot
+
+
+@dataclass(frozen=True)
+class LocalClock(Clock):
+    """Locally synchronous model: rounds are counted from the station's wake-up.
+
+    The perceived round is ``global_slot - wake_time`` (0 at the wake-up slot).
+    """
+
+    name: str = "local"
+
+    def perceived_round(self, *, global_slot: int, wake_time: int) -> int:
+        self._check_awake(global_slot, wake_time)
+        return global_slot - wake_time

@@ -1,0 +1,83 @@
+"""Slot outcomes and per-slot event records.
+
+Every simulated time slot produces exactly one :class:`SlotOutcome`:
+
+* ``SILENCE`` — no awake station transmitted;
+* ``SUCCESS`` — exactly one awake station transmitted (the wake-up problem is
+  solved at this slot);
+* ``COLLISION`` — two or more awake stations transmitted.
+
+The paper's channel provides **no collision detection**, so listening stations
+cannot distinguish ``SILENCE`` from ``COLLISION``; that distinction lives in
+the :mod:`repro.channel.feedback` models, while the outcome recorded in the
+trace is always the ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import FrozenSet, Optional, Tuple
+
+__all__ = ["SlotOutcome", "SlotRecord"]
+
+
+class SlotOutcome(Enum):
+    """Ground-truth outcome of a single channel slot."""
+
+    SILENCE = "silence"
+    SUCCESS = "success"
+    COLLISION = "collision"
+
+    @staticmethod
+    def from_transmitter_count(count: int) -> "SlotOutcome":
+        """Map a transmitter count to the corresponding outcome."""
+        if count < 0:
+            raise ValueError(f"transmitter count cannot be negative, got {count}")
+        if count == 0:
+            return SlotOutcome.SILENCE
+        if count == 1:
+            return SlotOutcome.SUCCESS
+        return SlotOutcome.COLLISION
+
+    @property
+    def is_success(self) -> bool:
+        """True iff the slot solved the wake-up problem."""
+        return self is SlotOutcome.SUCCESS
+
+
+@dataclass(frozen=True)
+class SlotRecord:
+    """Ground-truth record of one simulated slot.
+
+    Attributes
+    ----------
+    slot:
+        Absolute (global-clock) slot index.
+    transmitters:
+        The set of stations that transmitted in this slot.
+    outcome:
+        The resulting :class:`SlotOutcome`.
+    awake:
+        Number of stations awake during the slot (diagnostic; not visible to
+        the protocol).
+    """
+
+    slot: int
+    transmitters: FrozenSet[int]
+    outcome: SlotOutcome
+    awake: int = 0
+
+    def __post_init__(self) -> None:
+        expected = SlotOutcome.from_transmitter_count(len(self.transmitters))
+        if expected is not self.outcome:
+            raise ValueError(
+                f"outcome {self.outcome} inconsistent with {len(self.transmitters)} transmitters"
+            )
+
+    @property
+    def winner(self) -> Optional[int]:
+        """The successful station, or ``None`` for silence/collision slots."""
+        if self.outcome is SlotOutcome.SUCCESS:
+            return next(iter(self.transmitters))
+        return None

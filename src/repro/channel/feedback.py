@@ -1,0 +1,109 @@
+"""Channel feedback models.
+
+The amount of feedback a station receives after each slot is a central
+modelling choice (see the paper's Introduction).  The paper works in the
+**weakest** model: no collision detection, so a listening station only learns
+whether a successful transmission occurred (in which case it receives the
+message) — silence and collision are indistinguishable.  Some of the baseline
+algorithms we compare against (binary exponential backoff, Capetanakis tree
+splitting) require the stronger ternary feedback with collision detection, so
+both models are provided and every simulation records which one was used.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.channel.events import SlotOutcome
+
+__all__ = [
+    "FeedbackSignal",
+    "FeedbackModel",
+    "NoCollisionDetection",
+    "CollisionDetection",
+]
+
+
+class FeedbackSignal(Enum):
+    """What a station perceives at the end of a slot.
+
+    ``QUIET`` is deliberately ambiguous: under :class:`NoCollisionDetection`
+    it covers both true silence and collisions.
+    """
+
+    QUIET = "quiet"
+    SUCCESS = "success"
+    COLLISION = "collision"
+
+
+class FeedbackModel(ABC):
+    """Maps the ground-truth slot outcome to what stations can observe."""
+
+    #: Human-readable name used in reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def observe(self, outcome: SlotOutcome, *, transmitted: bool) -> FeedbackSignal:
+        """Return the signal perceived by a station.
+
+        Parameters
+        ----------
+        outcome:
+            Ground-truth outcome of the slot.
+        transmitted:
+            Whether the observing station itself transmitted in this slot.
+            (In every model a station knows its own action; in the paper's
+            model a successful transmitter also learns of its success because
+            all stations receive the message.)
+        """
+
+    @property
+    @abstractmethod
+    def detects_collisions(self) -> bool:
+        """True iff the model lets stations distinguish collision from silence."""
+
+
+@dataclass(frozen=True)
+class NoCollisionDetection(FeedbackModel):
+    """The paper's model: no feedback on collisions.
+
+    A station observes ``SUCCESS`` when some station transmits alone (it
+    receives the message), and ``QUIET`` otherwise — whether the slot was
+    silent or a collision.
+    """
+
+    name: str = "no-collision-detection"
+
+    def observe(self, outcome: SlotOutcome, *, transmitted: bool) -> FeedbackSignal:
+        if outcome is SlotOutcome.SUCCESS:
+            return FeedbackSignal.SUCCESS
+        return FeedbackSignal.QUIET
+
+    @property
+    def detects_collisions(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class CollisionDetection(FeedbackModel):
+    """Ternary feedback: silence / success / collision are all distinguishable.
+
+    Not used by the paper's algorithms; needed by baseline protocols such as
+    binary exponential backoff and tree-splitting, and by the lower bound of
+    Greenberg–Winograd which holds *even with* collision detection.
+    """
+
+    name: str = "collision-detection"
+
+    def observe(self, outcome: SlotOutcome, *, transmitted: bool) -> FeedbackSignal:
+        if outcome is SlotOutcome.SUCCESS:
+            return FeedbackSignal.SUCCESS
+        if outcome is SlotOutcome.COLLISION:
+            return FeedbackSignal.COLLISION
+        return FeedbackSignal.QUIET
+
+    @property
+    def detects_collisions(self) -> bool:
+        return True

@@ -1,0 +1,127 @@
+"""Protocol interfaces: the contract between algorithms and the simulator.
+
+Two kinds of protocols exist in the paper's landscape:
+
+* **Deterministic protocols** (all three scenarios of the paper): a station's
+  decision to transmit at global slot ``t`` is a deterministic function of its
+  ID, its wake-up time and ``t``.  They are *oblivious* — no feedback other
+  than "has a success happened yet" (which merely stops the protocol) is used.
+  The simulator exploits this: it asks each awake station for its transmit
+  slots over a horizon and finds the first slot with exactly one transmitter,
+  without a slot-by-slot Python loop.
+
+* **Randomized policies** (Section 6 and the stochastic baselines): a station
+  transmits with some probability that may depend on its ID, wake-up time,
+  the global slot, and — for feedback-dependent baselines such as binary
+  exponential backoff — the history of signals it observed.
+
+Concrete deterministic protocols live in :mod:`repro.core`; randomized ones in
+:mod:`repro.core.randomized` and :mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Optional
+
+import numpy as np
+
+from repro._util import validate_positive_int
+from repro.channel.feedback import FeedbackSignal
+
+__all__ = ["DeterministicProtocol", "RandomizedPolicy", "StationState"]
+
+
+class DeterministicProtocol(ABC):
+    """A deterministic, oblivious transmission protocol over universe ``[1, n]``.
+
+    Subclasses must implement :meth:`transmits`; they *should* override
+    :meth:`transmit_slots` with a vectorized implementation when the protocol
+    is used at scale (the default implementation calls :meth:`transmits` once
+    per slot, which is correct but slow).
+    """
+
+    def __init__(self, n: int) -> None:
+        self.n = validate_positive_int(n, "n")
+
+    #: Human-readable name used in reports and experiment tables.
+    name: str = "deterministic"
+
+    @abstractmethod
+    def transmits(self, station: int, wake_time: int, slot: int) -> bool:
+        """Return True iff ``station`` (woken at ``wake_time``) transmits at ``slot``.
+
+        Implementations must return ``False`` for every ``slot < wake_time``
+        (a sleeping station cannot transmit); the test suite enforces this
+        invariant for every protocol in the library.
+        """
+
+    def transmit_slots(
+        self, station: int, wake_time: int, start: int, stop: int
+    ) -> np.ndarray:
+        """Absolute slots in ``[start, stop)`` at which the station transmits.
+
+        The default implementation evaluates :meth:`transmits` slot by slot.
+        """
+        lo = max(int(start), int(wake_time))
+        hi = int(stop)
+        if hi <= lo:
+            return np.empty(0, dtype=np.int64)
+        slots = [t for t in range(lo, hi) if self.transmits(station, wake_time, t)]
+        return np.asarray(slots, dtype=np.int64)
+
+    def describe(self) -> str:
+        """One-line description used in experiment tables."""
+        return f"{self.name}(n={self.n})"
+
+
+class StationState:
+    """Mutable per-station state owned by a :class:`RandomizedPolicy`.
+
+    A plain attribute bag; policies may subclass or just stuff attributes in.
+    """
+
+    def __init__(self, station: int, wake_time: int) -> None:
+        self.station = station
+        self.wake_time = wake_time
+        self.transmission_count = 0
+        self.collision_count = 0
+        self.extra: dict[str, Any] = {}
+
+
+class RandomizedPolicy(ABC):
+    """A (possibly feedback-driven) randomized transmission policy."""
+
+    def __init__(self, n: int) -> None:
+        self.n = validate_positive_int(n, "n")
+
+    #: Human-readable name used in reports and experiment tables.
+    name: str = "randomized"
+
+    #: Whether the policy requires collision detection to behave as intended.
+    requires_collision_detection: bool = False
+
+    def create_state(self, station: int, wake_time: int) -> StationState:
+        """Create the per-station state at wake-up time."""
+        return StationState(station, wake_time)
+
+    @abstractmethod
+    def transmit_probability(self, state: StationState, slot: int) -> float:
+        """Probability that the station transmits at global slot ``slot``.
+
+        Must be in ``[0, 1]``; called only for slots at or after the station's
+        wake-up.
+        """
+
+    def observe(
+        self, state: StationState, slot: int, signal: FeedbackSignal, transmitted: bool
+    ) -> None:
+        """Update per-station state after a slot (default: book-keeping only)."""
+        if transmitted:
+            state.transmission_count += 1
+            if signal is FeedbackSignal.COLLISION:
+                state.collision_count += 1
+
+    def describe(self) -> str:
+        """One-line description used in experiment tables."""
+        return f"{self.name}(n={self.n})"

@@ -1,0 +1,81 @@
+"""Execution traces: the per-slot history of a simulation.
+
+A trace records every slot from the first wake-up to the end of the
+simulation.  Traces are optional (the vectorized simulator skips building them
+unless asked) but invaluable for debugging protocols, rendering the paper's
+Figure-2 style column-alignment pictures, and for the invariants checked in
+tests (e.g. "no station transmits before its wake-up slot").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.channel.events import SlotOutcome, SlotRecord
+
+__all__ = ["ExecutionTrace"]
+
+
+@dataclass
+class ExecutionTrace:
+    """An append-only list of :class:`SlotRecord` for one simulation run."""
+
+    records: List[SlotRecord] = field(default_factory=list)
+
+    def append(self, record: SlotRecord) -> None:
+        """Append a record; slots must be appended in strictly increasing order."""
+        if self.records and record.slot <= self.records[-1].slot:
+            raise ValueError(
+                f"slot {record.slot} appended out of order (last was {self.records[-1].slot})"
+            )
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[SlotRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> SlotRecord:
+        return self.records[index]
+
+    # -- queries -------------------------------------------------------------
+
+    def first_success(self) -> Optional[SlotRecord]:
+        """The first successful slot, or ``None`` if no success was recorded."""
+        for record in self.records:
+            if record.outcome.is_success:
+                return record
+        return None
+
+    def outcome_counts(self) -> dict:
+        """Return ``{outcome: count}`` over all recorded slots."""
+        counts = {outcome: 0 for outcome in SlotOutcome}
+        for record in self.records:
+            counts[record.outcome] += 1
+        return counts
+
+    def collision_slots(self) -> List[int]:
+        """Slots at which a collision occurred."""
+        return [r.slot for r in self.records if r.outcome is SlotOutcome.COLLISION]
+
+    def silent_slots(self) -> List[int]:
+        """Slots at which nobody transmitted."""
+        return [r.slot for r in self.records if r.outcome is SlotOutcome.SILENCE]
+
+    def transmissions_of(self, station: int) -> List[int]:
+        """Slots at which ``station`` transmitted."""
+        return [r.slot for r in self.records if station in r.transmitters]
+
+    def busiest_slot(self) -> Optional[SlotRecord]:
+        """The record with the most simultaneous transmitters (ties: earliest)."""
+        best: Optional[SlotRecord] = None
+        for record in self.records:
+            if best is None or len(record.transmitters) > len(best.transmitters):
+                best = record
+        return best
+
+    def to_rows(self) -> List[Tuple[int, str, int]]:
+        """Return ``(slot, outcome, #transmitters)`` rows for reporting."""
+        return [(r.slot, r.outcome.value, len(r.transmitters)) for r in self.records]

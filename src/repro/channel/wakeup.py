@@ -1,0 +1,139 @@
+"""Wake-up patterns: which stations wake up, and when.
+
+A *wake-up pattern* is the adversary's move in the paper's model: an
+assignment of wake-up slots to a subset of at most ``k`` stations out of the
+universe ``[1, n]``.  The pattern determines
+
+* ``s`` — the first slot at which some station is awake (the paper measures
+  latency from ``s``), and
+* the contender set available at every subsequent slot.
+
+Patterns are immutable value objects; the generators that build interesting
+patterns (adversarial, random, bursty, ...) live in
+:mod:`repro.channel.adversary`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro._util import validate_positive_int, validate_station_id
+
+__all__ = ["WakeupPattern"]
+
+
+@dataclass(frozen=True)
+class WakeupPattern:
+    """An immutable assignment of wake-up slots to stations.
+
+    Parameters
+    ----------
+    n:
+        Universe size; station IDs are ``1..n``.
+    wake_times:
+        Mapping ``station -> wake slot`` (absolute global slots, ``>= 0``).
+        Only awakened stations appear; stations not in the mapping sleep
+        forever and never transmit.
+
+    Examples
+    --------
+    >>> p = WakeupPattern(8, {3: 0, 5: 2, 7: 2})
+    >>> p.first_wake, p.k
+    (0, 3)
+    >>> p.awake_at(1)
+    (3,)
+    >>> p.awake_at(2)
+    (3, 5, 7)
+    """
+
+    n: int
+    wake_times: Mapping[int, int]
+
+    def __post_init__(self) -> None:
+        validate_positive_int(self.n, "n")
+        cleaned: Dict[int, int] = {}
+        for station, t in self.wake_times.items():
+            station = validate_station_id(station, self.n)
+            t = int(t)
+            if t < 0:
+                raise ValueError(f"wake time must be >= 0, got {t} for station {station}")
+            cleaned[station] = t
+        if not cleaned:
+            raise ValueError("a wake-up pattern must awaken at least one station")
+        object.__setattr__(self, "wake_times", dict(cleaned))
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        """Number of awakened stations."""
+        return len(self.wake_times)
+
+    @property
+    def stations(self) -> Tuple[int, ...]:
+        """Awakened stations, sorted by ID."""
+        return tuple(sorted(self.wake_times))
+
+    @property
+    def first_wake(self) -> int:
+        """``s`` — the first slot with at least one awake station."""
+        return min(self.wake_times.values())
+
+    @property
+    def last_wake(self) -> int:
+        """The latest wake-up slot in the pattern."""
+        return max(self.wake_times.values())
+
+    def wake_time(self, station: int) -> Optional[int]:
+        """Wake slot of ``station``, or ``None`` if it never wakes."""
+        return self.wake_times.get(station)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        """Iterate ``(station, wake_time)`` pairs sorted by wake time then ID."""
+        return iter(sorted(self.wake_times.items(), key=lambda kv: (kv[1], kv[0])))
+
+    def __len__(self) -> int:
+        return len(self.wake_times)
+
+    # -- derived views -----------------------------------------------------
+
+    def awake_at(self, slot: int) -> Tuple[int, ...]:
+        """Stations awake at ``slot`` (woken at or before it), sorted by ID."""
+        return tuple(sorted(u for u, t in self.wake_times.items() if t <= slot))
+
+    def awake_count_at(self, slot: int) -> int:
+        """Number of stations awake at ``slot``."""
+        return sum(1 for t in self.wake_times.values() if t <= slot)
+
+    def wake_array(self) -> np.ndarray:
+        """Return ``(stations, wake_times)`` as two aligned numpy arrays."""
+        stations = np.array(self.stations, dtype=np.int64)
+        times = np.array([self.wake_times[int(u)] for u in stations], dtype=np.int64)
+        return np.stack([stations, times])
+
+    def shifted(self, offset: int) -> "WakeupPattern":
+        """Return a copy with every wake time shifted by ``offset`` slots."""
+        if self.first_wake + offset < 0:
+            raise ValueError("shift would produce a negative wake time")
+        return WakeupPattern(self.n, {u: t + offset for u, t in self.wake_times.items()})
+
+    def normalized(self) -> "WakeupPattern":
+        """Return a copy shifted so that the first wake-up happens at slot 0."""
+        return self.shifted(-self.first_wake)
+
+    def restricted(self, stations: Iterable[int]) -> "WakeupPattern":
+        """Return the pattern restricted to the given stations (must be non-empty)."""
+        keep = {int(s) for s in stations}
+        sub = {u: t for u, t in self.wake_times.items() if u in keep}
+        return WakeupPattern(self.n, sub)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used in traces and reports."""
+        spread = self.last_wake - self.first_wake
+        return (
+            f"WakeupPattern(n={self.n}, k={self.k}, s={self.first_wake}, "
+            f"spread={spread})"
+        )

@@ -1,0 +1,216 @@
+"""Command-line interface for the repro library.
+
+Four subcommands cover the workflows a user needs without writing Python:
+
+``simulate``
+    Build one protocol, one wake-up pattern, run the simulation and print the
+    outcome (optionally with the per-slot timeline).
+
+``bounds``
+    Print the paper's bound formulas evaluated over a ``k`` sweep for a given
+    ``n`` — the quick way to see which regime a deployment sits in.
+
+``experiment``
+    Run one experiment from the E1–E11 registry at a chosen scale and print
+    its summary (tables, figures and certificates).
+
+``verify-matrix``
+    Search for / verify a waking-matrix seed for a given ``n`` (the
+    construct–verify–retry loop of :mod:`repro.core.matrix_search`).
+
+Examples
+--------
+.. code-block:: bash
+
+    python -m repro simulate --protocol scenario-b --n 128 --k 8 --pattern staggered
+    python -m repro bounds --n 1024
+    python -m repro experiment E3 --scale quick
+    python -m repro verify-matrix --n 64 --attempts 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.baselines import TDMA, KomlosGreenberg, tuned_aloha
+from repro.channel.adversary import (
+    batched_pattern,
+    simultaneous_pattern,
+    staggered_pattern,
+    uniform_random_pattern,
+)
+from repro.channel.simulator import run_deterministic, run_randomized
+from repro.channel.protocols import DeterministicProtocol
+from repro.core.lower_bounds import bound_table
+from repro.core.local_clock import LocalClockWakeup
+from repro.core.matrix_search import find_waking_matrix_seed
+from repro.core.randomized import RepeatedProbabilityDecrease
+from repro.core.round_robin import RoundRobin
+from repro.core.scenario_a import WakeupWithS
+from repro.core.scenario_b import WakeupWithK
+from repro.core.scenario_c import WakeupProtocol
+from repro.experiments.config import FULL, QUICK, STANDARD
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.reporting.figures import render_trace
+from repro.reporting.tables import TextTable
+
+__all__ = ["main", "build_parser"]
+
+_SCALES = {"quick": QUICK, "standard": STANDARD, "full": FULL}
+
+#: Protocol factories available to the ``simulate`` subcommand.
+PROTOCOLS = {
+    "round-robin": lambda args: RoundRobin(args.n),
+    "tdma": lambda args: TDMA(args.n),
+    "scenario-a": lambda args: WakeupWithS(args.n, s=0, rng=args.seed),
+    "scenario-b": lambda args: WakeupWithK(args.n, args.k, rng=args.seed),
+    "scenario-c": lambda args: WakeupProtocol(args.n, seed=args.seed),
+    "komlos-greenberg": lambda args: KomlosGreenberg(args.n, args.k, rng=args.seed),
+    "local-clock": lambda args: LocalClockWakeup(args.n, args.k, rng=args.seed),
+    "rpd": lambda args: RepeatedProbabilityDecrease(args.n),
+    "rpd-known-k": lambda args: RepeatedProbabilityDecrease(args.n, k=args.k),
+    "aloha": lambda args: tuned_aloha(args.n, args.k),
+}
+
+#: Pattern factories available to the ``simulate`` subcommand.
+PATTERNS = {
+    "simultaneous": lambda args: simultaneous_pattern(args.n, args.k, rng=args.seed),
+    "staggered": lambda args: staggered_pattern(args.n, args.k, gap=args.gap, rng=args.seed),
+    "batched": lambda args: batched_pattern(args.n, args.k, batch_gap=args.gap, rng=args.seed),
+    "uniform": lambda args: uniform_random_pattern(args.n, args.k, window=args.window, rng=args.seed),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Contention resolution on a non-synchronized multiple access channel "
+        "(De Marco & Kowalski, IPDPS 2013) — reproduction toolkit.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sim = subparsers.add_parser("simulate", help="run one protocol against one wake-up pattern")
+    sim.add_argument("--protocol", choices=sorted(PROTOCOLS), default="scenario-b")
+    sim.add_argument("--pattern", choices=sorted(PATTERNS), default="staggered")
+    sim.add_argument("--n", type=int, default=128, help="number of attached stations")
+    sim.add_argument("--k", type=int, default=8, help="number of awakened stations")
+    sim.add_argument("--gap", type=int, default=1, help="gap used by staggered/batched patterns")
+    sim.add_argument("--window", type=int, default=64, help="window used by the uniform pattern")
+    sim.add_argument("--seed", type=int, default=0, help="seed for protocol and pattern")
+    sim.add_argument("--max-slots", type=int, default=1_000_000)
+    sim.add_argument("--trace", action="store_true", help="print the per-slot timeline")
+
+    bounds = subparsers.add_parser("bounds", help="print the paper's bounds for a k sweep")
+    bounds.add_argument("--n", type=int, default=1024)
+    bounds.add_argument(
+        "--k", type=int, nargs="*", default=None, help="k values (default: powers of two up to n)"
+    )
+
+    exp = subparsers.add_parser("experiment", help="run one experiment from the registry")
+    exp.add_argument("experiment_id", choices=sorted(EXPERIMENTS), metavar="EXPERIMENT")
+    exp.add_argument("--scale", choices=sorted(_SCALES), default="quick")
+
+    verify = subparsers.add_parser("verify-matrix", help="find a verified waking-matrix seed")
+    verify.add_argument("--n", type=int, default=64)
+    verify.add_argument("--c", type=int, default=2)
+    verify.add_argument("--attempts", type=int, default=4)
+    verify.add_argument("--budget-factor", type=float, default=16.0)
+    verify.add_argument("--seed", type=int, default=0, help="seed of the search itself")
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    protocol = PROTOCOLS[args.protocol](args)
+    pattern = PATTERNS[args.pattern](args)
+    print(f"protocol: {protocol.describe()}")
+    print(f"pattern : {pattern.describe()}")
+    if isinstance(protocol, DeterministicProtocol):
+        result = run_deterministic(
+            protocol, pattern, max_slots=args.max_slots, record_trace=args.trace
+        )
+    else:
+        result = run_randomized(
+            protocol, pattern, rng=args.seed, max_slots=args.max_slots, record_trace=args.trace
+        )
+    if not result.solved:
+        print(f"NOT SOLVED within {args.max_slots} slots")
+        return 1
+    print(
+        f"success: station {result.winner} transmitted alone at slot {result.success_slot} "
+        f"(latency {result.latency} slots after the first wake-up)"
+    )
+    if args.trace and result.trace is not None:
+        print()
+        print(render_trace(result.trace))
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    ks: List[int] = args.k if args.k else []
+    if not ks:
+        k = 2
+        while k <= args.n:
+            ks.append(k)
+            k *= 2
+    rows = bound_table(args.n, ks)
+    table = TextTable(
+        ["k", "min{k,n-k+1}", "Clementi Ω(k log(n/k))", "Θ(k log(n/k)+1)", "k logn loglogn", "Ω(log k) rand.", "round-robin"]
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row.k,
+                row.trivial,
+                round(row.clementi, 1),
+                round(row.scenario_ab, 1),
+                round(row.scenario_c, 1),
+                round(row.randomized_lower, 2),
+                row.round_robin,
+            ]
+        )
+    print(f"bounds for n = {args.n}")
+    print(table.render())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = run_experiment(args.experiment_id, _SCALES[args.scale])
+    print(result.summary())
+    return 0 if result.all_certificates_hold else 1
+
+
+def _cmd_verify_matrix(args: argparse.Namespace) -> int:
+    try:
+        seed, report = find_waking_matrix_seed(
+            args.n,
+            c=args.c,
+            max_attempts=args.attempts,
+            budget_factor=args.budget_factor,
+            rng=args.seed,
+        )
+    except RuntimeError as exc:
+        print(str(exc))
+        return 1
+    print(report.describe())
+    print(f"verified seed: {seed}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "bounds": _cmd_bounds,
+        "experiment": _cmd_experiment,
+        "verify-matrix": _cmd_verify_matrix,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,165 @@
+"""Minimal prime-field arithmetic and polynomials over GF(p).
+
+The explicit selective-family constructions in :mod:`repro.combinatorics.superimposed`
+encode each station ID as a low-degree polynomial over a prime field and use
+the polynomial's evaluation table as a codeword (the classic Reed–Solomon /
+Kautz–Singleton construction).  We only need:
+
+* modular arithmetic in GF(p) for prime ``p`` (no extension fields), and
+* evaluation of dense polynomials with coefficients in GF(p).
+
+Both are implemented directly so the library has no dependency beyond numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.combinatorics.primes import is_prime
+
+__all__ = ["PrimeField", "Polynomial"]
+
+
+@dataclass(frozen=True)
+class PrimeField:
+    """The prime field GF(p).
+
+    Parameters
+    ----------
+    p:
+        A prime modulus.
+
+    Examples
+    --------
+    >>> gf = PrimeField(7)
+    >>> gf.add(5, 4)
+    2
+    >>> gf.mul(3, 5)
+    1
+    >>> gf.inverse(3)
+    5
+    """
+
+    p: int
+
+    def __post_init__(self) -> None:
+        if not is_prime(self.p):
+            raise ValueError(f"PrimeField modulus must be prime, got {self.p}")
+
+    @property
+    def order(self) -> int:
+        """Number of field elements."""
+        return self.p
+
+    def elements(self) -> range:
+        """Return an iterable over all field elements ``0..p-1``."""
+        return range(self.p)
+
+    def validate(self, a: int) -> int:
+        """Reduce ``a`` into canonical range ``[0, p)``."""
+        return int(a) % self.p
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition."""
+        return (a + b) % self.p
+
+    def sub(self, a: int, b: int) -> int:
+        """Field subtraction."""
+        return (a - b) % self.p
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication."""
+        return (a * b) % self.p
+
+    def pow(self, a: int, e: int) -> int:
+        """Field exponentiation ``a**e`` (``e >= 0``)."""
+        if e < 0:
+            return self.pow(self.inverse(a), -e)
+        return pow(a % self.p, e, self.p)
+
+    def inverse(self, a: int) -> int:
+        """Multiplicative inverse of a nonzero element."""
+        a = a % self.p
+        if a == 0:
+            raise ZeroDivisionError("0 has no multiplicative inverse")
+        return pow(a, self.p - 2, self.p)
+
+    def div(self, a: int, b: int) -> int:
+        """Field division ``a / b``."""
+        return self.mul(a, self.inverse(b))
+
+
+@dataclass(frozen=True)
+class Polynomial:
+    """A dense polynomial with coefficients in a prime field.
+
+    Coefficients are stored little-endian: ``coeffs[i]`` multiplies ``x**i``.
+
+    Examples
+    --------
+    >>> gf = PrimeField(5)
+    >>> poly = Polynomial(gf, (1, 2, 3))  # 1 + 2x + 3x^2
+    >>> poly(0), poly(1), poly(2)
+    (1, 1, 2)
+    """
+
+    field: PrimeField
+    coeffs: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "coeffs", tuple(self.field.validate(c) for c in self.coeffs)
+        )
+        if len(self.coeffs) == 0:
+            object.__setattr__(self, "coeffs", (0,))
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial (degree of the zero polynomial is 0)."""
+        for i in range(len(self.coeffs) - 1, -1, -1):
+            if self.coeffs[i] != 0:
+                return i
+        return 0
+
+    def __call__(self, x: int) -> int:
+        """Evaluate the polynomial at ``x`` by Horner's rule."""
+        x = self.field.validate(x)
+        acc = 0
+        for c in reversed(self.coeffs):
+            acc = (acc * x + c) % self.field.p
+        return acc
+
+    def evaluate_all(self) -> List[int]:
+        """Evaluate the polynomial at every field element, in order.
+
+        This is the codeword used by the Kautz–Singleton construction.
+        """
+        return [self(x) for x in self.field.elements()]
+
+    @staticmethod
+    def from_integer(field: PrimeField, value: int, degree: int) -> "Polynomial":
+        """Encode a non-negative integer as a polynomial of given max degree.
+
+        The integer is written in base ``p``; its digits become the
+        coefficients.  Distinct integers below ``p**(degree+1)`` map to
+        distinct polynomials, which is exactly the injectivity that the code
+        construction needs.
+        """
+        if value < 0:
+            raise ValueError(f"value must be non-negative, got {value}")
+        if degree < 0:
+            raise ValueError(f"degree must be non-negative, got {degree}")
+        limit = field.p ** (degree + 1)
+        if value >= limit:
+            raise ValueError(
+                f"value {value} does not fit in {degree + 1} base-{field.p} digits"
+            )
+        digits = []
+        v = value
+        for _ in range(degree + 1):
+            digits.append(v % field.p)
+            v //= field.p
+        return Polynomial(field, tuple(digits))

@@ -1,0 +1,216 @@
+"""Set families, binary selectors and strongly selective families.
+
+A *set family* over the universe ``[n] = {1..n}`` is simply an ordered list of
+subsets; each subset is a *transmission set*: the stations allowed to transmit
+in the corresponding time slot.  This is the representation shared by
+selective families (Section 3 of the paper), the concatenated schedules of
+``wait_and_go`` (Section 4), and each row of the transmission matrix
+(Section 5).
+
+This module provides the :class:`SetFamily` container plus a few classical
+explicit constructions used as baselines and as fallbacks when the randomized
+constructions of :mod:`repro.core.selective` are not wanted:
+
+* :func:`singleton_family` — the round-robin family ``{1},{2},...,{n}``;
+* :func:`binary_selector` — the bit-wise family that isolates any station out
+  of *two* contenders (a ``(n, 2)``-selective family of length ``2⌈log n⌉``);
+* :func:`strongly_selective_family` — an explicit ``(n, k)``-strongly-selective
+  family built from a Kautz–Singleton superimposed code, of length
+  ``O(k² log²_k n)`` (quadratically worse than the existential bound but fully
+  constructive);
+* :func:`power_of_two_blocks` — utility partitioning used by ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._util import ceil_log2, validate_k_n, validate_positive_int
+
+__all__ = [
+    "SetFamily",
+    "singleton_family",
+    "binary_selector",
+    "strongly_selective_family",
+    "power_of_two_blocks",
+]
+
+
+@dataclass(frozen=True)
+class SetFamily:
+    """An ordered family of subsets of the station universe ``[1, n]``.
+
+    Parameters
+    ----------
+    n:
+        Size of the universe; station IDs are ``1..n``.
+    sets:
+        The ordered transmission sets.  Stored as ``frozenset`` for immutability.
+    label:
+        Optional human-readable description (e.g. ``"(1024, 8)-selective"``).
+
+    Notes
+    -----
+    The family doubles as a transmission schedule fragment: station ``u``
+    transmits in local slot ``j`` (0-based) iff ``u in sets[j]``.
+    :class:`repro.core.schedules.FamilySchedule` wraps a family into a full
+    :class:`~repro.core.schedules.TransmissionSchedule`.
+    """
+
+    n: int
+    sets: Tuple[FrozenSet[int], ...]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        validate_positive_int(self.n, "n")
+        frozen = tuple(frozenset(int(x) for x in s) for s in self.sets)
+        for idx, s in enumerate(frozen):
+            for station in s:
+                if not 1 <= station <= self.n:
+                    raise ValueError(
+                        f"set #{idx} contains station {station} outside [1, {self.n}]"
+                    )
+        object.__setattr__(self, "sets", frozen)
+
+    def __len__(self) -> int:
+        return len(self.sets)
+
+    def __iter__(self) -> Iterator[FrozenSet[int]]:
+        return iter(self.sets)
+
+    def __getitem__(self, index: int) -> FrozenSet[int]:
+        return self.sets[index]
+
+    @property
+    def length(self) -> int:
+        """Number of transmission sets (= number of time slots consumed)."""
+        return len(self.sets)
+
+    def contains(self, station: int, index: int) -> bool:
+        """Return True iff ``station`` transmits in local slot ``index``."""
+        return station in self.sets[index]
+
+    def membership_matrix(self) -> np.ndarray:
+        """Return a boolean matrix ``B`` with ``B[j, u-1] = (u in sets[j])``.
+
+        Shape is ``(length, n)``.  Useful for vectorized simulation: a slot's
+        transmitter count over an awake-set bitmask is a single matrix-vector
+        product.
+        """
+        mat = np.zeros((len(self.sets), self.n), dtype=bool)
+        for j, s in enumerate(self.sets):
+            if s:
+                mat[j, np.fromiter((u - 1 for u in s), dtype=np.int64)] = True
+        return mat
+
+    def concatenate(self, other: "SetFamily") -> "SetFamily":
+        """Concatenate two families over the same universe."""
+        if other.n != self.n:
+            raise ValueError(
+                f"cannot concatenate families over different universes ({self.n} vs {other.n})"
+            )
+        return SetFamily(
+            self.n,
+            self.sets + other.sets,
+            label=f"{self.label}+{other.label}" if self.label or other.label else "",
+        )
+
+    def restricted_to(self, stations: Iterable[int]) -> "SetFamily":
+        """Return the family with every set intersected with ``stations``."""
+        keep = frozenset(int(s) for s in stations)
+        return SetFamily(
+            self.n,
+            tuple(s & keep for s in self.sets),
+            label=f"{self.label}|restricted" if self.label else "restricted",
+        )
+
+    def max_set_size(self) -> int:
+        """Size of the largest transmission set (0 for an empty family)."""
+        return max((len(s) for s in self.sets), default=0)
+
+    def total_membership(self) -> int:
+        """Sum of set sizes — total number of (station, slot) transmit grants."""
+        return sum(len(s) for s in self.sets)
+
+
+def singleton_family(n: int) -> SetFamily:
+    """Return the round-robin family ``({1}, {2}, ..., {n})``.
+
+    This is trivially an ``(n, k)``-selective family for every ``k`` and is the
+    building block of the round-robin arm that the paper interleaves with the
+    selective-family arm in Scenarios A and B.
+    """
+    n = validate_positive_int(n, "n")
+    return SetFamily(n, tuple(frozenset({u}) for u in range(1, n + 1)), label=f"round-robin({n})")
+
+
+def binary_selector(n: int) -> SetFamily:
+    """Return the bit-selector family of length ``2 * ceil(log2 n)``.
+
+    For each bit position ``b`` it contains the set of stations whose ID has
+    bit ``b`` equal to 1, and the complementary set.  For any two distinct
+    awake stations there is a bit on which they differ, hence a set containing
+    exactly one of them: the family is ``(n, 2)``-selective.
+    """
+    n = validate_positive_int(n, "n")
+    if n == 1:
+        return SetFamily(1, (frozenset({1}),), label="binary-selector(1)")
+    bits = ceil_log2(n)
+    sets: List[FrozenSet[int]] = []
+    for b in range(bits):
+        ones = frozenset(u for u in range(1, n + 1) if (u >> b) & 1)
+        zeros = frozenset(u for u in range(1, n + 1) if not (u >> b) & 1)
+        sets.append(ones)
+        sets.append(zeros)
+    return SetFamily(n, tuple(sets), label=f"binary-selector({n})")
+
+
+def power_of_two_blocks(n: int) -> List[Tuple[int, int]]:
+    """Partition ``[1, n]`` into blocks of doubling size.
+
+    Returns a list of ``(lo, hi)`` inclusive ranges: ``(1,1), (2,3), (4,7)...``
+    Used by ablation schedules that replace selective families with plain
+    block scans.
+    """
+    n = validate_positive_int(n, "n")
+    blocks: List[Tuple[int, int]] = []
+    lo = 1
+    size = 1
+    while lo <= n:
+        hi = min(n, lo + size - 1)
+        blocks.append((lo, hi))
+        lo = hi + 1
+        size *= 2
+    return blocks
+
+
+def strongly_selective_family(n: int, k: int) -> SetFamily:
+    """Explicit ``(n, k)``-strongly-selective family via Kautz–Singleton codes.
+
+    A family is *strongly selective* for ``k`` if for every subset ``X`` of at
+    most ``k`` stations and every ``x ∈ X`` there is a set ``F`` with
+    ``X ∩ F = {x}`` — every member of every small subset gets isolated, which
+    is stronger than the paper's selectivity requirement (some member gets
+    isolated).  Strong selectivity is what a ``(k-1)``-cover-free family
+    provides, and Kautz–Singleton superimposed codes give an explicit one of
+    length ``q²`` with ``q = O(k log_k n)``, i.e. ``O(k² log²_k n)``.
+
+    The construction is deterministic and needs no verification, at the price
+    of a quadratically longer family than the existential
+    ``O(k log(n/k))`` bound; it is exposed both as a baseline for experiment
+    E8 and as a fallback when deterministic explicitness matters more than
+    length.
+    """
+    k, n = validate_k_n(k, n)
+    # Importing here avoids a circular import at package load time
+    # (superimposed.py imports SetFamily from this module).
+    from repro.combinatorics.superimposed import code_to_set_family, kautz_singleton_code
+
+    if k == 1 or n == 1:
+        return singleton_family(n)
+    code = kautz_singleton_code(n=n, k=k)
+    family = code_to_set_family(code)
+    return SetFamily(n, family.sets, label=f"kautz-singleton({n},{k})")

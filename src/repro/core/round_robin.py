@@ -1,0 +1,52 @@
+"""Round-robin (time-division multiplexing) — the classical baseline arm.
+
+Round-robin assigns slot ``t`` to station ``(t mod n) + 1``: a station
+transmits exactly when it is awake and it is its turn.  For ``k`` contenders
+waking at arbitrary times it resolves contention within at most ``n`` slots of
+the first wake-up, and within ``n - k + 1`` slots when all contenders wake
+simultaneously (only the ``n - k`` turns of non-contenders are wasted).  The
+paper interleaves it with the selective-family arms because, by
+Corollary 2.1, round-robin is already asymptotically optimal when ``k`` is a
+constant fraction of ``n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.protocols import DeterministicProtocol
+
+__all__ = ["RoundRobin"]
+
+
+class RoundRobin(DeterministicProtocol):
+    """Station ``u`` transmits at slot ``t`` iff awake and ``t ≡ u - 1 (mod n)``.
+
+    Examples
+    --------
+    >>> rr = RoundRobin(4)
+    >>> [rr.transmits(3, 0, t) for t in range(4)]
+    [False, False, True, False]
+    """
+
+    name = "round-robin"
+
+    def transmits(self, station: int, wake_time: int, slot: int) -> bool:
+        if slot < wake_time:
+            return False
+        return slot % self.n == station - 1
+
+    def transmit_slots(self, station: int, wake_time: int, start: int, stop: int) -> np.ndarray:
+        lo = max(int(start), int(wake_time))
+        hi = int(stop)
+        if hi <= lo:
+            return np.empty(0, dtype=np.int64)
+        phase = station - 1
+        first = lo + ((phase - lo) % self.n)
+        if first >= hi:
+            return np.empty(0, dtype=np.int64)
+        return np.arange(first, hi, self.n, dtype=np.int64)
+
+    def turn_of(self, slot: int) -> int:
+        """The station whose turn it is at ``slot`` (whether or not it is awake)."""
+        return slot % self.n + 1

@@ -1,0 +1,236 @@
+"""Schedule building blocks shared by every scenario.
+
+The paper composes its algorithms out of a small number of schedule-level
+operations:
+
+* running a *family of transmission sets* slot by slot from some origin
+  (:class:`FamilySchedule`), possibly cyclically (:class:`CyclicFamilySchedule`,
+  used by ``wait_and_go`` which scans its concatenated schedule "in a circular
+  way");
+* **interleaving** two (or more) schedules — "execute round-robin in odd
+  rounds and the other algorithm in even rounds" (:class:`InterleavedProtocol`);
+* staying silent (:class:`SilentProtocol`, the behaviour of non-participants
+  in ``select_among_the_first``).
+
+Interleaving translates between *absolute* slots and each component's
+*virtual* timeline: component ``c`` of an ``m``-way interleave owns absolute
+slots ``{c, c+m, c+2m, ...}`` and sees them as virtual slots ``0, 1, 2, ...``.
+A station that wakes at absolute slot ``w`` appears to component ``c`` as
+waking at the virtual slot of the first owned absolute slot ``>= w``
+(:func:`virtual_wake_time`), which preserves the invariant "a station never
+transmits before it is awake".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro._util import ceil_div, validate_positive_int
+from repro.channel.protocols import DeterministicProtocol
+from repro.combinatorics.selectors import SetFamily
+
+__all__ = [
+    "virtual_wake_time",
+    "FamilySchedule",
+    "CyclicFamilySchedule",
+    "InterleavedProtocol",
+    "SilentProtocol",
+]
+
+
+def virtual_wake_time(wake_time: int, component: int, arity: int) -> int:
+    """Virtual wake slot of a station inside one component of an interleave.
+
+    Returns the smallest ``v >= 0`` such that ``component + v * arity >= wake_time``
+    — i.e. the index, on the component's own timeline, of the first absolute
+    slot owned by the component at which the station is already awake.
+    """
+    if arity < 1:
+        raise ValueError(f"arity must be >= 1, got {arity}")
+    if not 0 <= component < arity:
+        raise ValueError(f"component must be in [0, {arity}), got {component}")
+    if wake_time <= component:
+        return 0
+    return ceil_div(wake_time - component, arity)
+
+
+class SilentProtocol(DeterministicProtocol):
+    """A protocol that never transmits (used for non-participating stations)."""
+
+    name = "silent"
+
+    def transmits(self, station: int, wake_time: int, slot: int) -> bool:
+        return False
+
+    def transmit_slots(self, station: int, wake_time: int, start: int, stop: int) -> np.ndarray:
+        return np.empty(0, dtype=np.int64)
+
+
+class FamilySchedule(DeterministicProtocol):
+    """Run a :class:`~repro.combinatorics.selectors.SetFamily` from a fixed origin.
+
+    Station ``u`` transmits at slot ``t`` iff it is awake, ``origin <= t <
+    origin + len(family)`` and ``u`` belongs to transmission set number
+    ``t - origin``.  Slots outside the family's span are silent.
+
+    Parameters
+    ----------
+    family:
+        The ordered transmission sets.
+    origin:
+        Absolute (or virtual, when nested inside an interleave) slot at which
+        set number 0 is scheduled.
+    """
+
+    name = "family-schedule"
+
+    def __init__(self, family: SetFamily, origin: int = 0) -> None:
+        super().__init__(family.n)
+        if origin < 0:
+            raise ValueError(f"origin must be >= 0, got {origin}")
+        self.family = family
+        self.origin = int(origin)
+        # Precompute per-station slot offsets for the vectorized path.
+        self._station_offsets = self._build_offsets(family)
+
+    @staticmethod
+    def _build_offsets(family: SetFamily) -> dict:
+        offsets: dict[int, np.ndarray] = {}
+        buckets: dict[int, List[int]] = {}
+        for idx, s in enumerate(family.sets):
+            for u in s:
+                buckets.setdefault(u, []).append(idx)
+        for u, idxs in buckets.items():
+            offsets[u] = np.asarray(idxs, dtype=np.int64)
+        return offsets
+
+    def transmits(self, station: int, wake_time: int, slot: int) -> bool:
+        if slot < wake_time or slot < self.origin:
+            return False
+        index = slot - self.origin
+        if index >= self.family.length:
+            return False
+        return self.family.contains(station, index)
+
+    def transmit_slots(self, station: int, wake_time: int, start: int, stop: int) -> np.ndarray:
+        offsets = self._station_offsets.get(station)
+        if offsets is None:
+            return np.empty(0, dtype=np.int64)
+        slots = offsets + self.origin
+        lo = max(int(start), int(wake_time), self.origin)
+        mask = (slots >= lo) & (slots < int(stop))
+        return slots[mask]
+
+    def describe(self) -> str:
+        return f"{self.name}({self.family.label or 'family'}, origin={self.origin})"
+
+
+class CyclicFamilySchedule(DeterministicProtocol):
+    """Run a family cyclically: set number ``t mod length`` is used at slot ``t``.
+
+    This matches the paper's convention for ``wait_and_go`` and for the
+    transmission matrix ("the matrix is scanned in a circular way"): the
+    schedule is anchored at the *global* clock, not at the station's wake-up.
+    """
+
+    name = "cyclic-family-schedule"
+
+    def __init__(self, family: SetFamily) -> None:
+        super().__init__(family.n)
+        if family.length == 0:
+            raise ValueError("cannot build a cyclic schedule from an empty family")
+        self.family = family
+        self._station_offsets = FamilySchedule._build_offsets(family)
+
+    def transmits(self, station: int, wake_time: int, slot: int) -> bool:
+        if slot < wake_time:
+            return False
+        return self.family.contains(station, slot % self.family.length)
+
+    def transmit_slots(self, station: int, wake_time: int, start: int, stop: int) -> np.ndarray:
+        offsets = self._station_offsets.get(station)
+        if offsets is None:
+            return np.empty(0, dtype=np.int64)
+        lo = max(int(start), int(wake_time))
+        hi = int(stop)
+        if hi <= lo:
+            return np.empty(0, dtype=np.int64)
+        length = self.family.length
+        first_cycle = lo // length
+        last_cycle = (hi - 1) // length
+        cycles = np.arange(first_cycle, last_cycle + 1, dtype=np.int64)
+        slots = (cycles[:, None] * length + offsets[None, :]).ravel()
+        slots = slots[(slots >= lo) & (slots < hi)]
+        slots.sort()
+        return slots
+
+    def describe(self) -> str:
+        return f"{self.name}({self.family.label or 'family'}, period={self.family.length})"
+
+
+class InterleavedProtocol(DeterministicProtocol):
+    """Round-robin interleaving of several protocols over the global timeline.
+
+    Absolute slot ``t`` is owned by component ``t mod m`` (``m`` = number of
+    components) and corresponds to that component's virtual slot ``t // m``.
+    Wake-up times are translated with :func:`virtual_wake_time`.
+
+    The paper uses 2-way interleaving ("one can execute round-robin in odd
+    rounds and the other algorithm in even rounds"); the combinator is n-way
+    because ablation experiments also interleave three arms.
+    """
+
+    name = "interleave"
+
+    def __init__(self, components: Sequence[DeterministicProtocol]) -> None:
+        if not components:
+            raise ValueError("InterleavedProtocol needs at least one component")
+        n = components[0].n
+        for comp in components:
+            if comp.n != n:
+                raise ValueError(
+                    "all interleaved components must share the same universe size; "
+                    f"got {[c.n for c in components]}"
+                )
+        super().__init__(n)
+        self.components: List[DeterministicProtocol] = list(components)
+        self.arity = len(self.components)
+
+    def transmits(self, station: int, wake_time: int, slot: int) -> bool:
+        if slot < wake_time:
+            return False
+        component = slot % self.arity
+        virtual_slot = slot // self.arity
+        v_wake = virtual_wake_time(wake_time, component, self.arity)
+        if virtual_slot < v_wake:
+            return False
+        return self.components[component].transmits(station, v_wake, virtual_slot)
+
+    def transmit_slots(self, station: int, wake_time: int, start: int, stop: int) -> np.ndarray:
+        lo = max(int(start), int(wake_time))
+        hi = int(stop)
+        if hi <= lo:
+            return np.empty(0, dtype=np.int64)
+        pieces = []
+        for component, protocol in enumerate(self.components):
+            v_wake = virtual_wake_time(wake_time, component, self.arity)
+            # Virtual slots whose absolute counterpart falls in [lo, hi).
+            v_start = ceil_div(lo - component, self.arity) if lo > component else 0
+            v_stop = ceil_div(hi - component, self.arity) if hi > component else 0
+            if v_stop <= v_start:
+                continue
+            virtual = protocol.transmit_slots(station, v_wake, v_start, v_stop)
+            if virtual.size:
+                pieces.append(virtual * self.arity + component)
+        if not pieces:
+            return np.empty(0, dtype=np.int64)
+        slots = np.concatenate(pieces)
+        slots = slots[(slots >= lo) & (slots < hi)]
+        slots.sort()
+        return slots
+
+    def describe(self) -> str:
+        inner = ", ".join(c.describe() for c in self.components)
+        return f"{self.name}[{inner}]"

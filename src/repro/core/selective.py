@@ -1,0 +1,367 @@
+"""(n, k)-selective families: constructions, verification and concatenation.
+
+Following the paper (Section 3), an ``(n, k)``-selective family is a family
+``F`` of subsets of ``[n]`` such that for every contender set ``X`` with
+``k/2 <= |X| <= k`` some member of ``F`` intersects ``X`` in exactly one
+element.  Komlós & Greenberg proved (non-constructively) that families of
+length ``O(k + k log(n/k))`` exist; the paper's Scenario A/B algorithms use a
+concatenation of ``(n, 2^j)``-selective families for ``j = 1, 2, ...``.
+
+Three constructions are provided:
+
+``random``
+    The probabilistic-method construction: each station joins each set
+    independently with probability ``1/k``.  With the default length
+    multiplier the family is selective with overwhelming probability; an
+    optional verification step (exhaustive for small instances, Monte-Carlo
+    otherwise) re-draws with a fresh seed until the check passes.  This is
+    the construction the experiments use — it matches the existential
+    ``O(k log(n/k))`` length that the paper's bounds are stated in.
+
+``greedy``
+    A derandomized greedy cover for small instances: repeatedly add the
+    transmission set that isolates the largest number of not-yet-selected
+    contender sets.  Exact but exponential in ``n``; used in tests and to
+    cross-check the random construction's length on small universes.
+
+``explicit``
+    The Kautz–Singleton strongly-selective family from
+    :mod:`repro.combinatorics.superimposed` — deterministic, verification-free,
+    but of length ``O(k² log²_k n)``.  Used by experiment E8 to quantify the
+    price of explicitness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Literal, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._util import (
+    RngLike,
+    as_generator,
+    ceil_log2,
+    log2_safe,
+    validate_k_n,
+)
+from repro.combinatorics.selectors import SetFamily, singleton_family, strongly_selective_family
+from repro.combinatorics.verification import (
+    exhaustive_selectivity_check,
+    is_selective_for,
+    monte_carlo_selectivity,
+)
+
+__all__ = [
+    "SelectiveFamily",
+    "selective_family_target_length",
+    "random_selective_family",
+    "greedy_selective_family",
+    "explicit_selective_family",
+    "build_selective_family",
+    "concatenated_families",
+]
+
+#: Default length multiplier for the randomized construction.  The union-bound
+#: calculation (see module docstring of the tests) shows a multiplier of ~5 is
+#: enough for correctness with probability 1 - n^{-Ω(k)}; 6 leaves headroom.
+DEFAULT_LENGTH_MULTIPLIER = 6.0
+
+ConstructionMethod = Literal["random", "greedy", "explicit"]
+
+
+@dataclass(frozen=True)
+class SelectiveFamily:
+    """A constructed ``(n, k)``-selective family plus its construction metadata.
+
+    Attributes
+    ----------
+    n, k:
+        The parameters the family targets.
+    family:
+        The underlying ordered :class:`~repro.combinatorics.selectors.SetFamily`.
+    method:
+        Which construction produced it (``random`` / ``greedy`` / ``explicit``
+        / ``singleton``).
+    seed:
+        Seed used by the randomized construction (``None`` otherwise).
+    verified:
+        ``"exhaustive"``, ``"monte-carlo"``, or ``"none"`` — how the
+        selectivity property was checked.
+    """
+
+    n: int
+    k: int
+    family: SetFamily
+    method: str
+    seed: Optional[int] = None
+    verified: str = "none"
+
+    @property
+    def length(self) -> int:
+        """Number of transmission sets."""
+        return self.family.length
+
+    @property
+    def theoretical_length(self) -> int:
+        """The Komlós–Greenberg existential target ``O(k log(n/k) + k)``."""
+        return selective_family_target_length(self.n, self.k, multiplier=1.0)
+
+    def __len__(self) -> int:
+        return self.family.length
+
+    def selects(self, contenders: Sequence[int]) -> bool:
+        """True iff some set isolates exactly one member of ``contenders``."""
+        return is_selective_for(self.family, contenders)
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        return (
+            f"SelectiveFamily(n={self.n}, k={self.k}, length={self.length}, "
+            f"method={self.method}, verified={self.verified})"
+        )
+
+
+def selective_family_target_length(
+    n: int, k: int, *, multiplier: float = DEFAULT_LENGTH_MULTIPLIER
+) -> int:
+    """Target length ``ceil(multiplier * k * (log2(n/k) + 1))``.
+
+    With ``multiplier=1`` this is exactly the shape of the Komlós–Greenberg
+    bound ``O(k + k log(n/k))``; the default multiplier is what the randomized
+    construction needs for its union bound.
+    """
+    k, n = validate_k_n(k, n)
+    if multiplier <= 0:
+        raise ValueError(f"multiplier must be positive, got {multiplier}")
+    return max(1, math.ceil(multiplier * k * (log2_safe(n / k) + 1.0)))
+
+
+def _verify(
+    family: SetFamily,
+    k: int,
+    mode: str,
+    rng: np.random.Generator,
+    *,
+    monte_carlo_trials: int = 400,
+    exhaustive_limit: int = 200_000,
+) -> bool:
+    """Dispatch the requested verification mode; returns pass/fail."""
+    if mode == "none":
+        return True
+    if mode == "exhaustive":
+        # Guard against combinatorial blow-up: count the subsets we would enumerate.
+        total = 0
+        lo = max(1, k // 2)
+        for size in range(lo, k + 1):
+            total += math.comb(family.n, size)
+            if total > exhaustive_limit:
+                raise ValueError(
+                    f"exhaustive verification would enumerate >{exhaustive_limit} subsets "
+                    f"(n={family.n}, k={k}); use mode='monte-carlo' instead"
+                )
+        return exhaustive_selectivity_check(family, k)
+    if mode == "monte-carlo":
+        rate = monte_carlo_selectivity(family, k, trials=monte_carlo_trials, rng=rng)
+        return rate == 1.0
+    raise ValueError(f"unknown verification mode {mode!r}")
+
+
+def random_selective_family(
+    n: int,
+    k: int,
+    *,
+    rng: RngLike = None,
+    multiplier: float = DEFAULT_LENGTH_MULTIPLIER,
+    verification: str = "none",
+    max_attempts: int = 8,
+) -> SelectiveFamily:
+    """Probabilistic-method construction of an ``(n, k)``-selective family.
+
+    Each station joins each of ``selective_family_target_length(n, k)`` sets
+    independently with probability ``1/k``.  When ``verification`` is not
+    ``"none"``, the construction is re-drawn (with a derived seed) until the
+    requested check passes or ``max_attempts`` is exhausted.
+
+    Parameters
+    ----------
+    n, k:
+        Family parameters, ``1 <= k <= n``.
+    rng:
+        Seed or generator for reproducibility.
+    multiplier:
+        Length multiplier (see :func:`selective_family_target_length`).
+    verification:
+        ``"none"`` (default — rely on the union bound), ``"monte-carlo"`` or
+        ``"exhaustive"``.
+    max_attempts:
+        Number of re-draws before giving up.
+
+    Raises
+    ------
+    RuntimeError
+        If verification keeps failing after ``max_attempts`` attempts.
+    """
+    k, n = validate_k_n(k, n)
+    if k == 1 or n == 1:
+        return SelectiveFamily(
+            n=n, k=k, family=singleton_family(n), method="singleton", verified="exhaustive"
+        )
+    gen = as_generator(rng)
+    length = selective_family_target_length(n, k, multiplier=multiplier)
+    probability = 1.0 / k
+
+    for attempt in range(max_attempts):
+        seed = int(gen.integers(0, 2**63 - 1))
+        draw = np.random.default_rng(seed)
+        sets: List[frozenset] = []
+        # Draw row by row to keep memory proportional to the family, not L*n.
+        for _ in range(length):
+            members = np.flatnonzero(draw.random(n) < probability)
+            sets.append(frozenset(int(u) + 1 for u in members))
+        family = SetFamily(n, tuple(sets), label=f"random-selective({n},{k})")
+        if _verify(family, k, verification, draw):
+            return SelectiveFamily(
+                n=n, k=k, family=family, method="random", seed=seed, verified=verification
+            )
+    raise RuntimeError(
+        f"failed to construct a verified (n={n}, k={k})-selective family after "
+        f"{max_attempts} attempts; increase the length multiplier"
+    )
+
+
+def greedy_selective_family(
+    n: int,
+    k: int,
+    *,
+    candidate_pool: Optional[int] = None,
+    rng: RngLike = None,
+    exhaustive_limit: int = 200_000,
+) -> SelectiveFamily:
+    """Greedy derandomized construction (small instances only).
+
+    Enumerates every contender set ``X`` with ``k/2 <= |X| <= k`` and greedily
+    adds, at each step, the candidate transmission set that isolates the
+    largest number of still-unselected ``X``.  Candidates are all subsets of a
+    random pool when ``candidate_pool`` is given, otherwise the natural
+    candidates: for every contender size, sets drawn as "every ``k``-th
+    station" plus singletons — in practice the greedy cover over random
+    candidates matches the ``O(k log(n/k))`` shape, which is what tests assert.
+
+    Raises
+    ------
+    ValueError
+        If the number of contender sets to enumerate exceeds ``exhaustive_limit``.
+    """
+    k, n = validate_k_n(k, n)
+    if k == 1 or n == 1:
+        return SelectiveFamily(
+            n=n, k=k, family=singleton_family(n), method="singleton", verified="exhaustive"
+        )
+    lo = max(1, k // 2)
+    total = sum(math.comb(n, size) for size in range(lo, k + 1))
+    if total > exhaustive_limit:
+        raise ValueError(
+            f"greedy construction would enumerate {total} contender sets "
+            f"(limit {exhaustive_limit}); use random_selective_family for n={n}, k={k}"
+        )
+    targets: List[frozenset] = []
+    for size in range(lo, k + 1):
+        targets.extend(frozenset(c) for c in combinations(range(1, n + 1), size))
+
+    gen = as_generator(rng)
+    pool_size = candidate_pool if candidate_pool is not None else 4 * selective_family_target_length(n, k, multiplier=1.0)
+    candidates: List[frozenset] = [frozenset({u}) for u in range(1, n + 1)]
+    probability = 1.0 / k
+    for _ in range(pool_size):
+        members = np.flatnonzero(gen.random(n) < probability)
+        if members.size:
+            candidates.append(frozenset(int(u) + 1 for u in members))
+
+    chosen: List[frozenset] = []
+    unselected = set(range(len(targets)))
+    while unselected:
+        best_set = None
+        best_hits: set = set()
+        for cand in candidates:
+            hits = {
+                idx
+                for idx in unselected
+                if len(targets[idx] & cand) == 1
+            }
+            if len(hits) > len(best_hits):
+                best_hits = hits
+                best_set = cand
+        if best_set is None or not best_hits:
+            # Fall back to isolating one remaining target directly via a singleton.
+            idx = next(iter(unselected))
+            member = next(iter(targets[idx]))
+            best_set = frozenset({member})
+            best_hits = {
+                i for i in unselected if len(targets[i] & best_set) == 1
+            }
+        chosen.append(best_set)
+        unselected -= best_hits
+    family = SetFamily(n, tuple(chosen), label=f"greedy-selective({n},{k})")
+    return SelectiveFamily(n=n, k=k, family=family, method="greedy", verified="exhaustive")
+
+
+def explicit_selective_family(n: int, k: int) -> SelectiveFamily:
+    """Deterministic Kautz–Singleton construction (strongly selective, longer)."""
+    k, n = validate_k_n(k, n)
+    family = strongly_selective_family(n, k)
+    return SelectiveFamily(n=n, k=k, family=family, method="explicit", verified="constructive")
+
+
+def build_selective_family(
+    n: int,
+    k: int,
+    *,
+    method: ConstructionMethod = "random",
+    rng: RngLike = None,
+    **kwargs,
+) -> SelectiveFamily:
+    """Dispatch to one of the constructions by name."""
+    if method == "random":
+        return random_selective_family(n, k, rng=rng, **kwargs)
+    if method == "greedy":
+        return greedy_selective_family(n, k, rng=rng, **kwargs)
+    if method == "explicit":
+        return explicit_selective_family(n, k)
+    raise ValueError(f"unknown construction method {method!r}")
+
+
+def concatenated_families(
+    n: int,
+    max_k: int,
+    *,
+    method: ConstructionMethod = "random",
+    rng: RngLike = None,
+    multiplier: float = DEFAULT_LENGTH_MULTIPLIER,
+) -> List[SelectiveFamily]:
+    """Build the sequence of ``(n, 2^j)``-selective families for ``j = 1..⌈log max_k⌉``.
+
+    This is the schedule skeleton of both ``select_among_the_first``
+    (Section 3, with ``max_k = n``) and ``wait_and_go`` (Section 4, with
+    ``max_k = k``).  The seed stream is split deterministically so the whole
+    concatenation is reproducible from one seed.
+    """
+    _, n = validate_k_n(1, n)
+    max_k = min(max_k, n)
+    gen = as_generator(rng)
+    j_max = max(1, ceil_log2(max(2, max_k)))
+    families: List[SelectiveFamily] = []
+    for j in range(1, j_max + 1):
+        target_k = min(2**j, n)
+        if method == "random":
+            fam = random_selective_family(n, target_k, rng=gen, multiplier=multiplier)
+        elif method == "greedy":
+            fam = greedy_selective_family(n, target_k, rng=gen)
+        elif method == "explicit":
+            fam = explicit_selective_family(n, target_k)
+        else:
+            raise ValueError(f"unknown construction method {method!r}")
+        families.append(fam)
+    return families

@@ -1,0 +1,429 @@
+"""Transmission matrices and waking matrices (Section 5.2–5.3 of the paper).
+
+The Scenario C algorithm is driven by a ``(log n × ℓ)`` *transmission matrix*
+``M`` whose entries ``M_{i,j}`` are subsets of stations.  Row ``i`` plays the
+role of an ``(n, 2^i)``-selective family; column ``j`` corresponds to global
+time slot ``j`` (the matrix is scanned circularly, so slot ``t`` uses column
+``t mod ℓ``).  The paper proves by the probabilistic method that a matrix
+drawn with
+
+    ``Pr[u ∈ M_{i,j}] = 2^{-(i + ρ(j))}``,    ``ρ(j) = j mod log log n``
+
+is, with positive probability, a *waking matrix*: for every well-balanced set
+of awake stations some station gets isolated (Definition 5.3).
+
+This module provides:
+
+* :class:`MatrixParameters` / :func:`matrix_parameters` — the integer
+  parameters ``log n``, ``log log n`` (window length), ``m_i`` (row spans),
+  ``ℓ`` (matrix length), ``µ``, ``ρ`` — with the floors/ceilings the paper
+  omits made explicit;
+* :class:`HashedTransmissionMatrix` — the random matrix of Section 5.3,
+  realized *implicitly* through a seeded 64-bit mixing function so that
+  membership queries are O(1) and vectorizable without materializing the
+  ``log n × ℓ × n`` tensor;
+* :class:`ExplicitTransmissionMatrix` — a small dense matrix with arbitrary
+  entries, used in unit tests and for rendering the paper's Figures 1–2;
+* the analysis helpers of Section 5.2: the operational sets ``S_{i,j}``,
+  the well-balancedness conditions S1/S2, and isolation checks.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._util import RngLike, as_generator, ceil_log2, validate_positive_int
+from repro.channel.wakeup import WakeupPattern
+
+__all__ = [
+    "MatrixParameters",
+    "matrix_parameters",
+    "TransmissionMatrix",
+    "HashedTransmissionMatrix",
+    "ExplicitTransmissionMatrix",
+    "operational_sets",
+    "is_well_balanced_slot",
+    "isolated_station_at",
+    "first_isolation",
+]
+
+
+# ---------------------------------------------------------------------------
+# Parameters
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MatrixParameters:
+    """Integer parameters of the Scenario C construction for a given ``n``.
+
+    Attributes
+    ----------
+    n:
+        Universe size.
+    c:
+        The paper's "sufficiently large constant" — configurable so that the
+        ablation experiment E10 can study its effect.
+    rows:
+        ``⌈log₂ n⌉`` (at least 1) — the number of matrix rows.
+    window:
+        The window length, the paper's ``log log n`` (at least 1).
+    length:
+        ``ℓ = 2 · c · n · rows · window`` — the number of matrix columns.
+    row_spans:
+        ``m_i = c · 2^i · rows · window`` for ``i = 1..rows`` — how many slots
+        a station spends transmitting conditionally to row ``i``.
+    """
+
+    n: int
+    c: int
+    rows: int
+    window: int
+    length: int
+    row_spans: Tuple[int, ...]
+
+    @property
+    def total_span(self) -> int:
+        """``m_1 + ... + m_rows`` — slots a station spends before exhausting all rows."""
+        return sum(self.row_spans)
+
+    def rho(self, j: int) -> int:
+        """``ρ(j) = j mod window`` (the within-window position of column ``j``)."""
+        return int(j) % self.window
+
+    def mu(self, sigma: int) -> int:
+        """``µ(σ)`` — the first slot ``>= σ`` that is a window boundary.
+
+        A station woken at ``σ`` stays silent during ``[σ, µ(σ))`` and becomes
+        *operational* at ``µ(σ)``.
+        """
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        w = self.window
+        remainder = sigma % w
+        return sigma if remainder == 0 else sigma + (w - remainder)
+
+    def window_of(self, slot: int) -> int:
+        """Index ``p`` of the window ``[p·window, (p+1)·window)`` containing ``slot``."""
+        return int(slot) // self.window
+
+    def row_at_offset(self, offset: int) -> Optional[int]:
+        """Row index (1-based) used ``offset`` slots after a station became operational.
+
+        Returns ``None`` once the station has exhausted all rows
+        (``offset >= total_span``) — per the protocol it then stops
+        transmitting.
+        """
+        if offset < 0:
+            return None
+        running = 0
+        for i, span in enumerate(self.row_spans, start=1):
+            running += span
+            if offset < running:
+                return i
+        return None
+
+    def row_start_offset(self, row: int) -> int:
+        """Offset (since becoming operational) at which ``row`` begins."""
+        if not 1 <= row <= self.rows:
+            raise ValueError(f"row must be in [1, {self.rows}], got {row}")
+        return sum(self.row_spans[: row - 1])
+
+    def membership_probability(self, row: int, column: int) -> float:
+        """``Pr[u ∈ M_{row, column}] = 2^{-(row + ρ(column))}``."""
+        exponent = row + self.rho(column)
+        return 2.0 ** (-exponent)
+
+
+def matrix_parameters(n: int, *, c: int = 2, window: Optional[int] = None) -> MatrixParameters:
+    """Compute the Scenario C parameters for universe size ``n``.
+
+    The paper works with real-valued ``log n`` and ``log log n`` and
+    "omits all the floor and ceiling signs"; we fix the discretization as
+    ``rows = max(1, ⌈log₂ n⌉)`` and ``window = max(1, ⌈log₂ rows⌉)``
+    (overridable via ``window`` for ablation E10).
+    """
+    n = validate_positive_int(n, "n")
+    c = validate_positive_int(c, "c")
+    rows = max(1, ceil_log2(max(2, n)))
+    if window is None:
+        window = max(1, ceil_log2(max(2, rows)))
+    else:
+        window = validate_positive_int(window, "window")
+    row_spans = tuple(c * (2**i) * rows * window for i in range(1, rows + 1))
+    length = 2 * c * n * rows * window
+    return MatrixParameters(
+        n=n, c=c, rows=rows, window=window, length=length, row_spans=row_spans
+    )
+
+
+# ---------------------------------------------------------------------------
+# Matrices
+# ---------------------------------------------------------------------------
+
+
+class TransmissionMatrix(ABC):
+    """Abstract interface: a ``rows × length`` matrix of station subsets."""
+
+    def __init__(self, params: MatrixParameters) -> None:
+        self.params = params
+
+    @property
+    def n(self) -> int:
+        """Universe size."""
+        return self.params.n
+
+    @abstractmethod
+    def contains(self, row: int, column: int, station: int) -> bool:
+        """True iff ``station ∈ M_{row, column}`` (column taken modulo ``length``)."""
+
+    def membership_for_station(
+        self, station: int, row: int, columns: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized membership of one station across many columns of one row.
+
+        The default implementation loops over :meth:`contains`; subclasses
+        override with a vectorized version.
+        """
+        return np.fromiter(
+            (self.contains(row, int(j), station) for j in columns),
+            dtype=bool,
+            count=len(columns),
+        )
+
+    def column_set(self, row: int, column: int) -> FrozenSet[int]:
+        """The full transmission set ``M_{row, column}`` (O(n); diagnostics only)."""
+        return frozenset(
+            u for u in range(1, self.n + 1) if self.contains(row, column, u)
+        )
+
+    def describe(self) -> str:
+        """One-line description for reports."""
+        p = self.params
+        return (
+            f"{type(self).__name__}(n={p.n}, rows={p.rows}, window={p.window}, "
+            f"length={p.length}, c={p.c})"
+        )
+
+
+# 64-bit mixing constants (splitmix64 finalizer).
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer; input and output are uint64 arrays."""
+    with np.errstate(over="ignore"):
+        x = (x + _GOLDEN).astype(np.uint64)
+        x ^= x >> np.uint64(30)
+        x *= _MIX1
+        x ^= x >> np.uint64(27)
+        x *= _MIX2
+        x ^= x >> np.uint64(31)
+    return x
+
+
+class HashedTransmissionMatrix(TransmissionMatrix):
+    """The random transmission matrix of Section 5.3, realized via hashing.
+
+    Entry membership ``u ∈ M_{i,j}`` is decided by a seeded 64-bit mix of
+    ``(seed, i, j, u)``: the station is a member iff the top ``i + ρ(j)`` bits
+    of the hash are all zero, which happens with probability exactly
+    ``2^{-(i + ρ(j))}`` — the distribution prescribed by the paper.  The
+    matrix is therefore never materialized; membership queries are O(1),
+    deterministic given the seed, and independent across entries to the
+    quality of the mixing function.
+
+    The paper's existence proof (Theorem 5.2) shows a random matrix of this
+    distribution is a *waking* matrix with positive probability; the library
+    treats the hash-based matrix as one sample from that distribution and the
+    experiment harness verifies the isolation property empirically on the
+    workloads it runs (see :func:`first_isolation` and experiment E7).
+    """
+
+    def __init__(self, params: MatrixParameters, *, seed: int = 0) -> None:
+        super().__init__(params)
+        self.seed = int(seed)
+        self._seed64 = np.uint64(self.seed & 0xFFFFFFFFFFFFFFFF)
+
+    def _hash(self, row: int, columns: np.ndarray, station: int) -> np.ndarray:
+        cols = (columns % self.params.length).astype(np.uint64)
+        # Per-row/station/seed salt computed with Python ints (wrap-around via the
+        # explicit 64-bit mask) so numpy never sees a scalar integer overflow.
+        salt = (
+            (station * 0xA24BAED4963EE407) ^ (row * 0x9FB21C651E98DF25) ^ self.seed
+        ) & 0xFFFFFFFFFFFFFFFF
+        with np.errstate(over="ignore"):
+            x = cols * np.uint64(0xD6E8FEB86659FD93)
+            x ^= np.uint64(salt)
+            return _splitmix64(x)
+
+    def contains(self, row: int, column: int, station: int) -> bool:
+        return bool(
+            self.membership_for_station(station, row, np.asarray([column], dtype=np.int64))[0]
+        )
+
+    def membership_for_station(
+        self, station: int, row: int, columns: np.ndarray
+    ) -> np.ndarray:
+        if not 1 <= row <= self.params.rows:
+            raise ValueError(f"row must be in [1, {self.params.rows}], got {row}")
+        if not 1 <= station <= self.n:
+            raise ValueError(f"station must be in [1, {self.n}], got {station}")
+        columns = np.asarray(columns, dtype=np.int64)
+        if columns.size == 0:
+            return np.empty(0, dtype=bool)
+        hashes = self._hash(row, columns, station)
+        rho = (columns % self.params.length) % self.params.window
+        exponents = (row + rho).astype(np.uint64)
+        # Member iff the top `exponent` bits are zero: hash < 2^(64 - exponent).
+        thresholds = np.left_shift(np.uint64(1), np.uint64(64) - exponents)
+        return hashes < thresholds
+
+
+class ExplicitTransmissionMatrix(TransmissionMatrix):
+    """A dense, explicitly stored transmission matrix (small universes only).
+
+    Parameters
+    ----------
+    params:
+        Matrix parameters (``rows`` and ``length`` must match the entries).
+    entries:
+        Mapping ``(row, column) -> set of stations``; missing entries are empty.
+    """
+
+    def __init__(
+        self,
+        params: MatrixParameters,
+        entries: Mapping[Tuple[int, int], Iterable[int]],
+    ) -> None:
+        super().__init__(params)
+        cleaned: Dict[Tuple[int, int], FrozenSet[int]] = {}
+        for (row, column), stations in entries.items():
+            if not 1 <= row <= params.rows:
+                raise ValueError(f"row {row} outside [1, {params.rows}]")
+            if not 0 <= column < params.length:
+                raise ValueError(f"column {column} outside [0, {params.length})")
+            members = frozenset(int(u) for u in stations)
+            for u in members:
+                if not 1 <= u <= params.n:
+                    raise ValueError(f"station {u} outside [1, {params.n}]")
+            cleaned[(row, column)] = members
+        self._entries = cleaned
+
+    @classmethod
+    def sample(
+        cls, params: MatrixParameters, *, rng: RngLike = None
+    ) -> "ExplicitTransmissionMatrix":
+        """Draw a dense matrix from the paper's distribution (tiny ``n`` only)."""
+        gen = as_generator(rng)
+        entries: Dict[Tuple[int, int], List[int]] = {}
+        for row in range(1, params.rows + 1):
+            for column in range(params.length):
+                p = params.membership_probability(row, column)
+                members = np.flatnonzero(gen.random(params.n) < p)
+                if members.size:
+                    entries[(row, column)] = [int(u) + 1 for u in members]
+        return cls(params, entries)
+
+    def contains(self, row: int, column: int, station: int) -> bool:
+        column = int(column) % self.params.length
+        return station in self._entries.get((row, column), frozenset())
+
+    def column_set(self, row: int, column: int) -> FrozenSet[int]:
+        column = int(column) % self.params.length
+        return self._entries.get((row, column), frozenset())
+
+
+# ---------------------------------------------------------------------------
+# Section 5.2 analysis: operational sets, well-balancedness, isolation
+# ---------------------------------------------------------------------------
+
+
+def operational_sets(
+    params: MatrixParameters, pattern: WakeupPattern, slot: int
+) -> Dict[int, FrozenSet[int]]:
+    """Compute the partition ``{i: S_{i,slot}}`` of the operational stations.
+
+    ``S_{i,j}`` is the set of stations that, at slot ``j``, transmit
+    conditionally to row ``i`` of the matrix — i.e. stations ``u`` with
+    ``µ(σ_u) <= j`` whose per-protocol row pointer is at ``i`` (stations that
+    have exhausted all rows are omitted).
+    """
+    result: Dict[int, set] = {}
+    for station, sigma in pattern.wake_times.items():
+        mu = params.mu(sigma)
+        if mu > slot:
+            continue
+        row = params.row_at_offset(slot - mu)
+        if row is None:
+            continue
+        result.setdefault(row, set()).add(station)
+    return {i: frozenset(s) for i, s in result.items()}
+
+
+def is_well_balanced_slot(
+    params: MatrixParameters, pattern: WakeupPattern, slot: int
+) -> bool:
+    """Check conditions S1 and S2 of the paper's well-balancedness definition at one slot.
+
+    * S1: ``Σ_i |S_{i,slot}| / 2^i <= rows`` (the paper's ``log n``).
+    * S2: ``|S_{i,slot}| >= 2^{i-3}`` for some row ``i``.
+    """
+    sets = operational_sets(params, pattern, slot)
+    if not sets:
+        return False
+    weighted = sum(len(s) / (2.0**i) for i, s in sets.items())
+    s1 = weighted <= params.rows
+    s2 = any(len(s) >= 2 ** (i - 3) for i, s in sets.items())
+    return s1 and s2
+
+
+def isolated_station_at(
+    matrix: TransmissionMatrix, pattern: WakeupPattern, slot: int
+) -> Optional[int]:
+    """Return the isolated station at ``slot``, if exactly one operational station transmits.
+
+    A station ``w ∈ S_{i,j}`` is *isolated* at ``j`` iff
+    ``⋃_i (S_{i,j} ∩ M_{i,j}) = {w}`` — i.e. across all rows, exactly one
+    operational station is granted the slot.  This is precisely a successful
+    transmission of the Scenario C protocol.
+    """
+    params = matrix.params
+    column = slot % params.length
+    transmitters: List[int] = []
+    for row, stations in operational_sets(params, pattern, slot).items():
+        for u in stations:
+            if matrix.contains(row, column, u):
+                transmitters.append(u)
+                if len(transmitters) > 1:
+                    return None
+    if len(transmitters) == 1:
+        return transmitters[0]
+    return None
+
+
+def first_isolation(
+    matrix: TransmissionMatrix,
+    pattern: WakeupPattern,
+    *,
+    max_slots: int = 500_000,
+) -> Optional[Tuple[int, int]]:
+    """Scan forward from the first wake-up for the first isolating slot.
+
+    Returns ``(slot, station)`` or ``None`` if no isolation occurs within
+    ``max_slots`` slots of the first wake-up.  This is the matrix-level view
+    of the Scenario C protocol's success; the protocol object in
+    :mod:`repro.core.scenario_c` must agree with it (tested).
+    """
+    start = pattern.first_wake
+    for slot in range(start, start + max_slots):
+        station = isolated_station_at(matrix, pattern, slot)
+        if station is not None:
+            return slot, station
+    return None

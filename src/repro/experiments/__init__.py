@@ -1,0 +1,62 @@
+"""Experiment orchestration: configurations, runners, and the E1–E10 registry.
+
+The experiment index in ``DESIGN.md`` maps every claim of the paper to an
+experiment; this package contains the code that runs them.  Each experiment is
+a function taking an :class:`~repro.experiments.config.ExperimentScale` and
+returning an :class:`~repro.experiments.runner.ExperimentResult` with raw rows,
+rendered tables/figures, and bound certificates.  The ``benchmarks/`` tree and
+``EXPERIMENTS.md`` are both generated from this registry so that the numbers
+in the documentation are always reproducible by re-running the benchmarks.
+"""
+
+from repro.experiments.config import ExperimentScale, QUICK, STANDARD, FULL
+from repro.experiments.cache import FamilyCache, shared_cache
+from repro.experiments.runner import (
+    ExperimentResult,
+    measure_latency,
+    worst_latency,
+    mean_latency,
+)
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    run_experiment,
+    experiment_e1_scenario_a,
+    experiment_e2_scenario_b,
+    experiment_e3_scenario_c,
+    experiment_e4_lower_bound,
+    experiment_e5_scenario_gap,
+    experiment_e6_randomized,
+    experiment_e7_matrix_structure,
+    experiment_e8_selective_families,
+    experiment_e9_baselines,
+    experiment_e10_ablations,
+    experiment_e11_global_vs_local_clock,
+)
+from repro.experiments.report import generate_experiments_report
+
+__all__ = [
+    "ExperimentScale",
+    "QUICK",
+    "STANDARD",
+    "FULL",
+    "FamilyCache",
+    "shared_cache",
+    "ExperimentResult",
+    "measure_latency",
+    "worst_latency",
+    "mean_latency",
+    "EXPERIMENTS",
+    "run_experiment",
+    "experiment_e1_scenario_a",
+    "experiment_e2_scenario_b",
+    "experiment_e3_scenario_c",
+    "experiment_e4_lower_bound",
+    "experiment_e5_scenario_gap",
+    "experiment_e6_randomized",
+    "experiment_e7_matrix_structure",
+    "experiment_e8_selective_families",
+    "experiment_e9_baselines",
+    "experiment_e10_ablations",
+    "experiment_e11_global_vs_local_clock",
+    "generate_experiments_report",
+]

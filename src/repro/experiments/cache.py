@@ -1,0 +1,58 @@
+"""Caching of constructed combinatorial objects across an experiment sweep.
+
+Selective families are by far the most expensive objects the experiments
+build (a full concatenation for ``n = 512`` touches millions of random draws),
+and sweeps ask for them repeatedly: ``WakeupWithK(n, k)`` for every ``k`` in a
+sweep needs the prefix of the same family sequence.  :class:`FamilyCache`
+builds the longest concatenation once per ``(n, seed, method)`` and hands out
+prefixes, which keeps benchmark times dominated by simulation rather than
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro._util import ceil_log2
+from repro.core.selective import SelectiveFamily, concatenated_families
+
+__all__ = ["FamilyCache", "shared_cache"]
+
+
+@dataclass
+class FamilyCache:
+    """Cache of concatenated ``(n, 2^j)``-selective family sequences."""
+
+    _store: Dict[Tuple[int, int, str], List[SelectiveFamily]] = field(default_factory=dict)
+
+    def concatenation(
+        self, n: int, max_k: int, *, seed: int = 0, method: str = "random"
+    ) -> List[SelectiveFamily]:
+        """Return the families for ``j = 1..⌈log₂ max_k⌉`` (building/extending as needed).
+
+        The cache key ignores ``max_k``: the longest sequence built so far for
+        ``(n, seed, method)`` is kept and prefixes are sliced from it, so
+        requesting ``max_k = 8`` after ``max_k = 256`` is free.
+        """
+        key = (int(n), int(seed), method)
+        needed = max(1, ceil_log2(max(2, min(max_k, n))))
+        cached = self._store.get(key, [])
+        if len(cached) < needed:
+            # Rebuild the whole sequence deterministically from the seed so that
+            # prefixes are identical no matter in which order sizes were requested.
+            cached = concatenated_families(n, min(2**needed, n), method=method, rng=seed)
+            self._store[key] = cached
+        return cached[:needed]
+
+    def clear(self) -> None:
+        """Drop every cached sequence."""
+        self._store.clear()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+#: Module-level cache shared by the benchmark harness (cleared between scales
+#: only if the caller wants to measure construction cost explicitly).
+shared_cache = FamilyCache()

@@ -1,0 +1,1067 @@
+"""The experiment registry: E1–E10 from DESIGN.md, each as a callable.
+
+Every experiment function takes an :class:`~repro.experiments.config.ExperimentScale`
+(and an optional seed) and returns an
+:class:`~repro.experiments.runner.ExperimentResult`.  The benchmark files under
+``benchmarks/`` call these with the ``QUICK`` scale; ``EXPERIMENTS.md`` is
+generated from the ``STANDARD`` scale via
+:func:`repro.experiments.report.generate_experiments_report`.
+
+The paper is a theory paper without numeric tables, so each experiment
+validates a stated theorem or comparative claim; the mapping is documented in
+DESIGN.md's experiment index and repeated in each function's docstring.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._util import as_generator, log2_safe, loglog2_safe
+from repro.analysis.certificates import check_lower_bound, check_upper_bound
+from repro.analysis.fitting import STANDARD_MODELS, best_model, fit_model
+from repro.analysis.shape import crossover_point, who_wins
+from repro.analysis.statistics import summarize
+from repro.baselines import (
+    BinaryExponentialBackoff,
+    KomlosGreenberg,
+    SlottedAloha,
+    TDMA,
+    TreeSplitting,
+    tuned_aloha,
+)
+from repro.channel.adversary import (
+    AdaptiveLowerBoundAdversary,
+    family_boundary_pattern,
+    simultaneous_pattern,
+    staggered_pattern,
+    uniform_random_pattern,
+    window_boundary_pattern,
+)
+from repro.channel.protocols import DeterministicProtocol, RandomizedPolicy
+from repro.channel.simulator import run_deterministic, run_randomized
+from repro.channel.wakeup import WakeupPattern
+from repro.core.local_clock import LocalClockScenarioC, LocalClockWakeup
+from repro.core.lower_bounds import (
+    randomized_lower_bound,
+    scenario_ab_bound,
+    scenario_c_bound,
+    trivial_lower_bound,
+)
+from repro.core.randomized import DecayPolicy, RepeatedProbabilityDecrease
+from repro.core.round_robin import RoundRobin
+from repro.core.scenario_a import SelectAmongTheFirst, WakeupWithS
+from repro.core.scenario_b import WaitAndGo, WakeupWithK
+from repro.core.scenario_c import WakeupProtocol
+from repro.core.selective import (
+    explicit_selective_family,
+    random_selective_family,
+    selective_family_target_length,
+)
+from repro.core.waking_matrix import (
+    HashedTransmissionMatrix,
+    first_isolation,
+    matrix_parameters,
+)
+from repro.combinatorics.verification import monte_carlo_selectivity
+from repro.experiments.cache import FamilyCache, shared_cache
+from repro.experiments.config import ExperimentScale, QUICK
+from repro.experiments.runner import ExperimentResult, measure_latency, worst_latency
+from repro.reporting.figures import ascii_line_plot, render_matrix_occupancy, render_trace
+from repro.reporting.tables import TextTable
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "experiment_e1_scenario_a",
+    "experiment_e2_scenario_b",
+    "experiment_e3_scenario_c",
+    "experiment_e4_lower_bound",
+    "experiment_e5_scenario_gap",
+    "experiment_e6_randomized",
+    "experiment_e7_matrix_structure",
+    "experiment_e8_selective_families",
+    "experiment_e9_baselines",
+    "experiment_e10_ablations",
+    "experiment_e11_global_vs_local_clock",
+]
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+
+def _pattern_batch(
+    n: int,
+    k: int,
+    scale: ExperimentScale,
+    rng: np.random.Generator,
+    *,
+    start: int = 0,
+    window: Optional[int] = None,
+    include_simultaneous: bool = True,
+    include_staggered: bool = True,
+) -> List[WakeupPattern]:
+    """The standard batch of wake-up patterns used by the scenario sweeps.
+
+    Besides random subsets, the batch always contains the structured
+    adversarial choice "the k stations with the latest round-robin turns, all
+    waking together": it prevents the interleaved round-robin arm from ending
+    the run by luck, so the measured worst case reflects the selective-arm
+    behaviour whose growth the experiments are about.
+    """
+    window = window or max(16, 4 * k)
+    late_turn_stations = list(range(n - k + 1, n + 1))
+    patterns: List[WakeupPattern] = [
+        simultaneous_pattern(n, k, start=start, stations=late_turn_stations),
+        staggered_pattern(n, k, start=start, gap=1, stations=late_turn_stations),
+    ]
+    for _ in range(scale.seeds):
+        if include_simultaneous:
+            patterns.append(simultaneous_pattern(n, k, start=start, rng=rng))
+        if include_staggered:
+            patterns.append(staggered_pattern(n, k, start=start, gap=1, rng=rng))
+        for _ in range(scale.patterns_per_seed):
+            patterns.append(uniform_random_pattern(n, k, start=start, window=window, rng=rng))
+    return patterns
+
+
+def _safe_latency(protocol, pattern: WakeupPattern, *, max_slots: int, rng) -> Tuple[int, bool]:
+    """Latency of one run, returning ``(max_slots, False)`` when unsolved."""
+    if isinstance(protocol, DeterministicProtocol):
+        result = run_deterministic(protocol, pattern, max_slots=max_slots)
+    elif isinstance(protocol, RandomizedPolicy):
+        result = run_randomized(protocol, pattern, rng=rng, max_slots=max_slots)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unsupported protocol type {type(protocol).__name__}")
+    if result.solved:
+        return result.require_solved(), True
+    return max_slots, False
+
+
+# ---------------------------------------------------------------------------
+# E1 — Scenario A
+# ---------------------------------------------------------------------------
+
+
+def experiment_e1_scenario_a(
+    scale: ExperimentScale = QUICK, *, seed: int = 1, cache: Optional[FamilyCache] = None
+) -> ExperimentResult:
+    """E1: WAKEUP-WITH-S latency grows as Θ(k log(n/k) + 1) (paper Section 3).
+
+    For each ``(n, k)`` the worst latency over simultaneous, staggered and
+    random wake-up patterns (all with ``s = 0``, which Scenario A assumes
+    known) is recorded and normalized by ``k log(n/k) + 1``.  The certificate
+    asserts the normalized ratio is bounded by a fixed constant across the
+    sweep, and the model fit confirms ``k log(n/k)`` explains the data better
+    than the neighbouring candidates (``k``, ``k log n``).
+    """
+    cache = cache or shared_cache
+    rng = as_generator(seed)
+    result = ExperimentResult(
+        experiment="E1",
+        title="Scenario A (s known): wakeup_with_s is Θ(k log(n/k) + 1)",
+        scale=scale.name,
+    )
+    table = TextTable(["n", "k", "worst latency", "k log(n/k)+1", "ratio"])
+    points: List[Tuple[int, int, float]] = []
+    for n in scale.n_values:
+        families = cache.concatenation(n, n, seed=seed)
+        for k in scale.k_values(n):
+            protocol = WakeupWithS(n, s=0, families=families)
+            patterns = _pattern_batch(n, k, scale, rng, start=0)
+            latency = worst_latency(protocol, patterns, max_slots=scale.max_slots)
+            bound = scenario_ab_bound(n, k)
+            ratio = latency / bound
+            table.add_row([n, k, latency, bound, ratio])
+            points.append((n, k, float(max(1, latency))))
+            result.rows.append(
+                {
+                    "experiment": "E1",
+                    "protocol": "wakeup_with_s",
+                    "n": n,
+                    "k": k,
+                    "latency": latency,
+                    "bound": bound,
+                    "ratio": ratio,
+                }
+            )
+    result.tables["scenario_a_latency"] = table.render()
+    result.certificates.append(
+        check_upper_bound(
+            points,
+            scenario_ab_bound,
+            claim="wakeup_with_s latency = O(k log(n/k) + 1)",
+            tolerance=48.0,
+        )
+    )
+    # The growth-model fit is restricted to k <= n/4: beyond that the interleaved
+    # round-robin arm takes over (the paper's min{n-k+1, ...} regime) and no single
+    # monotone model describes the whole sweep.
+    small_k_points = [(n, k, y) for (n, k, y) in points if k <= n // 4]
+    fit = best_model(small_k_points or points)
+    result.notes.append(
+        f"best-fitting growth model on the k <= n/4 regime: {fit.model.name} "
+        f"(constant {fit.constant:.2f}, residual {fit.residual:.3f})"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E2 — Scenario B
+# ---------------------------------------------------------------------------
+
+
+def experiment_e2_scenario_b(
+    scale: ExperimentScale = QUICK, *, seed: int = 2, cache: Optional[FamilyCache] = None
+) -> ExperimentResult:
+    """E2: WAKEUP-WITH-K latency grows as Θ(k log(n/k) + 1) (paper Section 4).
+
+    Same sweep as E1, but the protocol only knows ``k`` (not ``s``) and the
+    pattern batch additionally contains the adversarial patterns that wake
+    stations just after a selective-family boundary — the worst case for the
+    ``wait_and_go`` waiting rule.
+    """
+    cache = cache or shared_cache
+    rng = as_generator(seed)
+    result = ExperimentResult(
+        experiment="E2",
+        title="Scenario B (k known): wakeup_with_k is Θ(k log(n/k) + 1)",
+        scale=scale.name,
+    )
+    table = TextTable(["n", "k", "worst latency", "k log(n/k)+1", "ratio"])
+    points: List[Tuple[int, int, float]] = []
+    for n in scale.n_values:
+        for k in scale.k_values(n):
+            families = cache.concatenation(n, k, seed=seed)
+            protocol = WakeupWithK(n, k, families=families)
+            patterns = _pattern_batch(n, k, scale, rng)
+            boundaries = protocol.family_boundaries_absolute(up_to=4 * protocol.wait_and_go_arm.period)
+            if boundaries:
+                patterns.append(
+                    family_boundary_pattern(n, k, boundaries=boundaries, rng=rng)
+                )
+            latency = worst_latency(protocol, patterns, max_slots=scale.max_slots)
+            bound = scenario_ab_bound(n, k)
+            ratio = latency / bound
+            table.add_row([n, k, latency, bound, ratio])
+            points.append((n, k, float(max(1, latency))))
+            result.rows.append(
+                {
+                    "experiment": "E2",
+                    "protocol": "wakeup_with_k",
+                    "n": n,
+                    "k": k,
+                    "latency": latency,
+                    "bound": bound,
+                    "ratio": ratio,
+                }
+            )
+    result.tables["scenario_b_latency"] = table.render()
+    result.certificates.append(
+        check_upper_bound(
+            points,
+            scenario_ab_bound,
+            claim="wakeup_with_k latency = O(k log(n/k) + 1)",
+            tolerance=64.0,
+        )
+    )
+    # See E1: fit only the k <= n/4 regime where the selective arm dominates.
+    small_k_points = [(n, k, y) for (n, k, y) in points if k <= n // 4]
+    fit = best_model(small_k_points or points)
+    result.notes.append(
+        f"best-fitting growth model on the k <= n/4 regime: {fit.model.name} "
+        f"(constant {fit.constant:.2f}, residual {fit.residual:.3f})"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E3 — Scenario C
+# ---------------------------------------------------------------------------
+
+
+def experiment_e3_scenario_c(
+    scale: ExperimentScale = QUICK, *, seed: int = 3
+) -> ExperimentResult:
+    """E3: WAKEUP(n) latency is O(k log n log log n) (paper Theorem 5.3).
+
+    The wake-up patterns include the window-boundary adversary (stations wake
+    one slot after a window starts, maximizing the forced idle time of µ) in
+    addition to the standard batch.  Measured worst latencies are normalized
+    by ``k log n log log n``; the certificate asserts a uniform constant.
+    """
+    rng = as_generator(seed)
+    result = ExperimentResult(
+        experiment="E3",
+        title="Scenario C (nothing known): wakeup(n) is O(k log n log log n)",
+        scale=scale.name,
+    )
+    table = TextTable(["n", "k", "worst latency", "k·logn·loglogn", "ratio"])
+    points: List[Tuple[int, int, float]] = []
+    for n in scale.n_values:
+        protocol = WakeupProtocol(n, seed=seed)
+        k_cap = min(n, 256)
+        for k in scale.k_values(n, cap=k_cap):
+            patterns = _pattern_batch(n, k, scale, rng)
+            patterns.append(
+                window_boundary_pattern(
+                    n, k, window_length=protocol.params.window, rng=rng
+                )
+            )
+            latency = worst_latency(protocol, patterns, max_slots=scale.max_slots)
+            bound = scenario_c_bound(n, k)
+            ratio = latency / bound
+            table.add_row([n, k, latency, bound, ratio])
+            points.append((n, k, float(max(1, latency))))
+            result.rows.append(
+                {
+                    "experiment": "E3",
+                    "protocol": "wakeup_scenario_c",
+                    "n": n,
+                    "k": k,
+                    "latency": latency,
+                    "bound": bound,
+                    "ratio": ratio,
+                }
+            )
+    result.tables["scenario_c_latency"] = table.render()
+    result.certificates.append(
+        check_upper_bound(
+            points,
+            scenario_c_bound,
+            claim="wakeup(n) latency = O(k log n log log n)",
+            tolerance=32.0,
+        )
+    )
+    fit = best_model(points)
+    result.notes.append(
+        f"best-fitting growth model: {fit.model.name} "
+        f"(constant {fit.constant:.2f}, residual {fit.residual:.3f})"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E4 — Lower bound
+# ---------------------------------------------------------------------------
+
+
+def experiment_e4_lower_bound(
+    scale: ExperimentScale = QUICK, *, seed: int = 4, cache: Optional[FamilyCache] = None
+) -> ExperimentResult:
+    """E4: the replacement adversary forces ≥ min{k, n-k+1} rounds (Theorem 2.1).
+
+    The adaptive adversary is run against every protocol in the library.  For
+    round-robin the worst case is also constructed exactly (the ``k`` stations
+    whose turns come last), giving a tight check; for the other protocols the
+    heuristic adversary provides an empirical floor which is compared to the
+    theoretical bound.
+    """
+    cache = cache or shared_cache
+    rng = as_generator(seed)
+    result = ExperimentResult(
+        experiment="E4",
+        title="Lower bound: any algorithm needs min{k, n-k+1} rounds",
+        scale=scale.name,
+    )
+    n = scale.n_values[0]
+    table = TextTable(
+        ["protocol", "n", "k", "adversary latency", "distinct slots", "min{k,n-k+1}"]
+    )
+    exact_points: List[Tuple[int, int, float]] = []
+    for k in scale.k_values(n, cap=min(n - 1, 64)):
+        families = cache.concatenation(n, k, seed=seed)
+        protocols = {
+            "round_robin": RoundRobin(n),
+            "wakeup_with_s": WakeupWithS(n, s=0, families=cache.concatenation(n, n, seed=seed)),
+            "wakeup_with_k": WakeupWithK(n, k, families=families),
+            "wakeup_scenario_c": WakeupProtocol(n, seed=seed),
+        }
+        bound = trivial_lower_bound(n, k)
+        for name, protocol in protocols.items():
+            adversary = AdaptiveLowerBoundAdversary(protocol, max_slots=scale.max_slots)
+            report = adversary.run(k, rng=rng)
+            table.add_row(
+                [name, n, k, report.max_latency, report.distinct_isolating_slots, bound]
+            )
+            result.rows.append(
+                {
+                    "experiment": "E4",
+                    "protocol": name,
+                    "n": n,
+                    "k": k,
+                    "adversary_latency": report.max_latency,
+                    "distinct_slots": report.distinct_isolating_slots,
+                    "bound": bound,
+                }
+            )
+        # Exact worst case for round-robin: wake (simultaneously) the k stations
+        # whose turns come last, so the first k-1... n-k turns are wasted.
+        worst_stations = list(range(n - k + 1, n + 1))
+        exact = run_deterministic(
+            RoundRobin(n), simultaneous_pattern(n, k, stations=worst_stations), max_slots=scale.max_slots
+        ).require_solved()
+        exact_points.append((n, k, float(exact + 1)))  # +1: latency t-s counts from 0
+        result.rows.append(
+            {
+                "experiment": "E4",
+                "protocol": "round_robin_exact_adversary",
+                "n": n,
+                "k": k,
+                "adversary_latency": exact,
+                "bound": trivial_lower_bound(n, k),
+            }
+        )
+    result.tables["lower_bound_adversary"] = table.render()
+    result.certificates.append(
+        check_lower_bound(
+            exact_points,
+            trivial_lower_bound,
+            claim="round-robin worst case >= min{k, n-k+1} (exact adversary)",
+            tolerance=1.05,
+        )
+    )
+    result.notes.append(
+        "the replacement adversary is a heuristic realization of the Theorem 2.1 proof; "
+        "its latencies are empirical floors, not exact worst cases"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E5 — Scenario gap
+# ---------------------------------------------------------------------------
+
+
+def experiment_e5_scenario_gap(
+    scale: ExperimentScale = QUICK, *, seed: int = 5, cache: Optional[FamilyCache] = None
+) -> ExperimentResult:
+    """E5: the price of knowing nothing — Scenario C vs Scenarios A/B.
+
+    For fixed ``k`` and growing ``n`` the measured gap
+    ``latency_C / latency_A`` should track the theoretical factor
+    ``log n log log n / log(n/k)`` (paper: Scenario C is a ``Θ(log log n)``
+    factor away from optimal, and loses the ``log(n/k) → log n`` refinement).
+    """
+    cache = cache or shared_cache
+    rng = as_generator(seed)
+    result = ExperimentResult(
+        experiment="E5",
+        title="Gap between Scenario C and Scenarios A/B",
+        scale=scale.name,
+    )
+    k = 8
+    table = TextTable(
+        ["n", "k", "latency A", "latency B", "latency C", "gap C/A", "theory factor"]
+    )
+    ns, series_a, series_b, series_c = [], [], [], []
+    for n in scale.n_values:
+        if k > n:
+            continue
+        patterns = _pattern_batch(n, k, scale, rng)
+        protocol_a = WakeupWithS(n, s=0, families=cache.concatenation(n, n, seed=seed))
+        protocol_b = WakeupWithK(n, k, families=cache.concatenation(n, k, seed=seed))
+        protocol_c = WakeupProtocol(n, seed=seed)
+        latency_a = worst_latency(protocol_a, patterns, max_slots=scale.max_slots)
+        latency_b = worst_latency(protocol_b, patterns, max_slots=scale.max_slots)
+        latency_c = worst_latency(protocol_c, patterns, max_slots=scale.max_slots)
+        theory = (log2_safe(n) * loglog2_safe(n)) / log2_safe(n / k)
+        table.add_row(
+            [n, k, latency_a, latency_b, latency_c, latency_c / latency_a, theory]
+        )
+        ns.append(n)
+        series_a.append(latency_a)
+        series_b.append(latency_b)
+        series_c.append(latency_c)
+        result.rows.append(
+            {
+                "experiment": "E5",
+                "n": n,
+                "k": k,
+                "latency_a": latency_a,
+                "latency_b": latency_b,
+                "latency_c": latency_c,
+                "gap_c_over_a": latency_c / latency_a,
+                "theory_factor": theory,
+            }
+        )
+    result.tables["scenario_gap"] = table.render()
+    if len(ns) >= 2:
+        result.figures["latency_vs_n"] = ascii_line_plot(
+            ns,
+            {"scenario A": series_a, "scenario B": series_b, "scenario C": series_c},
+            title=f"Worst-case latency vs n (k = {k})",
+            logy=True,
+        )
+    gap_holds = all(c >= a for a, c in zip(series_a, series_c))
+    result.notes.append(
+        "scenario C never beats scenario A on worst-case latency: "
+        + ("confirmed" if gap_holds else "NOT confirmed")
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E6 — Randomized protocols
+# ---------------------------------------------------------------------------
+
+
+def experiment_e6_randomized(
+    scale: ExperimentScale = QUICK, *, seed: int = 6
+) -> ExperimentResult:
+    """E6: randomized protocols (Section 6) — RPD is O(log n), O(log k) with known k.
+
+    Expected latencies (mean over repeated runs) of RPD with and without the
+    knowledge of ``k``, of the Decay ablation, and of genie-tuned ALOHA are
+    compared against ``log n`` and ``log k``, and against the
+    Kushilevitz–Mansour ``Ω(log k)`` lower bound.
+    """
+    rng = as_generator(seed)
+    result = ExperimentResult(
+        experiment="E6",
+        title="Randomized wake-up: RPD expected O(log n) / O(log k)",
+        scale=scale.name,
+    )
+    repetitions = max(10, 5 * scale.seeds)
+    table = TextTable(
+        ["n", "k", "RPD (n)", "RPD (k known)", "Decay", "tuned ALOHA", "log2 n", "log2 k"]
+    )
+    rpd_known_points: List[Tuple[int, int, float]] = []
+    rpd_unknown_points: List[Tuple[int, int, float]] = []
+    for n in scale.n_values:
+        for k in (2, 8, min(32, n)):
+            patterns = [
+                uniform_random_pattern(n, k, window=max(4, 2 * k), rng=rng)
+                for _ in range(repetitions)
+            ]
+            means = {}
+            for name, policy in (
+                ("rpd_n", RepeatedProbabilityDecrease(n)),
+                ("rpd_k", RepeatedProbabilityDecrease(n, k=k)),
+                ("decay", DecayPolicy(n)),
+                ("aloha", tuned_aloha(n, k)),
+            ):
+                latencies = measure_latency(
+                    policy, patterns, max_slots=scale.max_slots, rng=rng
+                )
+                means[name] = float(np.mean(latencies))
+            table.add_row(
+                [
+                    n,
+                    k,
+                    means["rpd_n"],
+                    means["rpd_k"],
+                    means["decay"],
+                    means["aloha"],
+                    log2_safe(n),
+                    log2_safe(k),
+                ]
+            )
+            rpd_unknown_points.append((n, k, max(1.0, means["rpd_n"])))
+            rpd_known_points.append((n, k, max(1.0, means["rpd_k"])))
+            result.rows.append(
+                {
+                    "experiment": "E6",
+                    "n": n,
+                    "k": k,
+                    "rpd_mean": means["rpd_n"],
+                    "rpd_known_k_mean": means["rpd_k"],
+                    "decay_mean": means["decay"],
+                    "tuned_aloha_mean": means["aloha"],
+                    "log2_n": log2_safe(n),
+                    "log2_k": log2_safe(k),
+                }
+            )
+    result.tables["randomized_expected_latency"] = table.render()
+    result.certificates.append(
+        check_upper_bound(
+            rpd_unknown_points,
+            lambda n, k: log2_safe(n),
+            claim="RPD expected latency = O(log n) (k unknown)",
+            tolerance=16.0,
+        )
+    )
+    result.certificates.append(
+        check_upper_bound(
+            rpd_known_points,
+            lambda n, k: log2_safe(k),
+            claim="RPD expected latency = O(log k) (k known)",
+            tolerance=16.0,
+        )
+    )
+    result.certificates.append(
+        check_lower_bound(
+            rpd_known_points,
+            lambda n, k: randomized_lower_bound(k),
+            claim="expected latency >= Omega(log k) (Kushilevitz-Mansour shape)",
+            tolerance=8.0,
+        )
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E7 — Matrix structure (paper Figures 1 and 2)
+# ---------------------------------------------------------------------------
+
+
+def experiment_e7_matrix_structure(
+    scale: ExperimentScale = QUICK, *, seed: int = 7
+) -> ExperimentResult:
+    """E7: structural reproduction of the paper's Figures 1 and 2.
+
+    Renders (a) which matrix rows a station traverses after waking (Figure 1)
+    and (b) the per-slot timeline of a small execution where stations with
+    different wake-up times transmit according to different rows of the same
+    column (Figure 2).  Also validates that the protocol-level simulation and
+    the matrix-level isolation analysis agree on the first success, and that
+    the empirical membership frequencies match the prescribed probabilities
+    ``2^-(i+ρ(j))``.
+    """
+    rng = as_generator(seed)
+    result = ExperimentResult(
+        experiment="E7",
+        title="Transmission-matrix structure (paper Figures 1 and 2)",
+        scale=scale.name,
+    )
+    n = 32
+    protocol = WakeupProtocol(n, seed=seed)
+    params = protocol.params
+    wake_times = {3: 1, 11: params.window + 1, 23: 2 * params.window + 1}
+    result.figures["figure1_row_traversal"] = render_matrix_occupancy(
+        params, wake_times, columns=72
+    )
+    pattern = WakeupPattern(n, wake_times)
+    run = run_deterministic(protocol, pattern, max_slots=scale.max_slots, record_trace=True)
+    if run.trace is not None:
+        result.figures["figure2_column_alignment"] = render_trace(run.trace)
+    isolation = first_isolation(protocol.matrix, pattern, max_slots=scale.max_slots)
+    agreement = (
+        isolation is not None
+        and run.solved
+        and isolation[0] == run.success_slot
+        and isolation[1] == run.winner
+    )
+    result.notes.append(
+        "protocol simulation and matrix-level isolation analysis agree on the first "
+        f"success: {'yes' if agreement else 'NO'}"
+    )
+    result.rows.append(
+        {
+            "experiment": "E7",
+            "n": n,
+            "protocol_success_slot": run.success_slot,
+            "protocol_winner": run.winner,
+            "matrix_isolation_slot": isolation[0] if isolation else None,
+            "matrix_isolated_station": isolation[1] if isolation else None,
+            "agreement": agreement,
+        }
+    )
+
+    # Empirical membership frequencies vs the prescribed 2^-(i+rho) probabilities.
+    table = TextTable(["row i", "rho(j)", "empirical Pr[u in M_ij]", "2^-(i+rho)"])
+    matrix = protocol.matrix
+    columns = np.arange(0, min(params.length, 2048), dtype=np.int64)
+    for row in range(1, min(params.rows, 4) + 1):
+        for rho in range(params.window):
+            cols = columns[(columns % params.window) == rho]
+            if cols.size == 0:
+                continue
+            hits = 0
+            total = 0
+            for station in range(1, n + 1):
+                member = matrix.membership_for_station(station, row, cols)
+                hits += int(member.sum())
+                total += member.size
+            empirical = hits / total if total else 0.0
+            expected = 2.0 ** (-(row + rho))
+            table.add_row([row, rho, empirical, expected])
+            result.rows.append(
+                {
+                    "experiment": "E7",
+                    "row": row,
+                    "rho": rho,
+                    "empirical_probability": empirical,
+                    "expected_probability": expected,
+                }
+            )
+    result.tables["membership_probabilities"] = table.render()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E8 — Selective-family quality
+# ---------------------------------------------------------------------------
+
+
+def experiment_e8_selective_families(
+    scale: ExperimentScale = QUICK, *, seed: int = 8
+) -> ExperimentResult:
+    """E8: constructed selective-family lengths vs the O(k log(n/k)) target.
+
+    Compares the randomized (existential-style) construction and the explicit
+    Kautz–Singleton construction on length and verified selectivity, exposing
+    the price of explicitness the paper's conclusion mentions ("an efficient
+    implementation ... could require an explicit construction").
+    """
+    rng = as_generator(seed)
+    result = ExperimentResult(
+        experiment="E8",
+        title="Selective families: length and selectivity of the constructions",
+        scale=scale.name,
+    )
+    table = TextTable(
+        [
+            "n",
+            "k",
+            "target k·log(n/k)",
+            "random length",
+            "random selectivity",
+            "explicit length",
+        ]
+    )
+    for n in scale.n_values:
+        for k in [2, 4, 8, 16]:
+            if k > n:
+                continue
+            target = selective_family_target_length(n, k, multiplier=1.0)
+            random_fam = random_selective_family(n, k, rng=rng)
+            selectivity = monte_carlo_selectivity(
+                random_fam.family, k, trials=200, rng=rng
+            )
+            explicit_length: Optional[int] = None
+            if k <= 8:
+                explicit_length = explicit_selective_family(n, k).length
+            table.add_row(
+                [n, k, target, random_fam.length, selectivity, explicit_length]
+            )
+            result.rows.append(
+                {
+                    "experiment": "E8",
+                    "n": n,
+                    "k": k,
+                    "target_length": target,
+                    "random_length": random_fam.length,
+                    "random_selectivity": selectivity,
+                    "explicit_length": explicit_length,
+                }
+            )
+    result.tables["selective_family_quality"] = table.render()
+    rates = [row["random_selectivity"] for row in result.rows if "random_selectivity" in row]
+    result.notes.append(
+        f"minimum Monte-Carlo selectivity rate of the randomized construction: {min(rates):.3f}"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E9 — Baseline comparison
+# ---------------------------------------------------------------------------
+
+
+def experiment_e9_baselines(
+    scale: ExperimentScale = QUICK, *, seed: int = 9, cache: Optional[FamilyCache] = None
+) -> ExperimentResult:
+    """E9: the paper's algorithms vs classical baselines (who wins where).
+
+    Deterministic worst-case protocols are compared against TDMA, the
+    synchronized Komlós–Greenberg schedule, tuned slotted ALOHA, binary
+    exponential backoff and tree splitting, on simultaneous and staggered
+    wake-ups.  Baselines that need collision detection or knowledge the
+    paper's model does not provide are flagged in the notes.
+    """
+    cache = cache or shared_cache
+    rng = as_generator(seed)
+    result = ExperimentResult(
+        experiment="E9",
+        title="Baseline comparison on simultaneous and staggered wake-ups",
+        scale=scale.name,
+    )
+    n = scale.n_values[-1]
+    table = TextTable(["k", "pattern", "protocol", "latency", "winner?"])
+    for k in scale.k_values(n, cap=min(n, 128)):
+        families = cache.concatenation(n, k, seed=seed)
+        protocols = {
+            "wakeup_with_k": WakeupWithK(n, k, families=families),
+            "wakeup_scenario_c": WakeupProtocol(n, seed=seed),
+            "tdma": TDMA(n),
+            "komlos_greenberg": KomlosGreenberg(n, k, families=families),
+            "rpd": RepeatedProbabilityDecrease(n),
+            "tuned_aloha": tuned_aloha(n, k),
+            "beb": BinaryExponentialBackoff(n, rng=seed),
+            "tree_splitting": TreeSplitting(n, rng=seed),
+        }
+        for pattern_name, pattern in (
+            ("simultaneous", simultaneous_pattern(n, k, rng=rng)),
+            ("staggered", staggered_pattern(n, k, gap=2, rng=rng)),
+        ):
+            latencies: Dict[str, float] = {}
+            for name, protocol in protocols.items():
+                latency, solved = _safe_latency(
+                    protocol, pattern, max_slots=scale.max_slots, rng=rng
+                )
+                latencies[name] = latency
+                result.rows.append(
+                    {
+                        "experiment": "E9",
+                        "n": n,
+                        "k": k,
+                        "pattern": pattern_name,
+                        "protocol": name,
+                        "latency": latency,
+                        "solved": solved,
+                    }
+                )
+            winner, _ = who_wins(latencies)
+            for name, latency in latencies.items():
+                table.add_row([k, pattern_name, name, latency, name == winner])
+    result.tables["baseline_comparison"] = table.render()
+    result.notes.append(
+        "beb and tree_splitting run on the collision-detection channel (stronger than the "
+        "paper's model); rpd, tuned_aloha and beb are randomized — their latencies are "
+        "single-run samples, not worst cases"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E10 — Ablations
+# ---------------------------------------------------------------------------
+
+
+def experiment_e10_ablations(
+    scale: ExperimentScale = QUICK, *, seed: int = 10, cache: Optional[FamilyCache] = None
+) -> ExperimentResult:
+    """E10: ablations of the design choices DESIGN.md calls out.
+
+    (a) Scenario C window length: 1 vs the paper's ``log log n`` vs ``log n``.
+    (b) Scenario C constant ``c``: 1, 2, 4.
+    (c) The ``wait_and_go`` waiting rule vs starting immediately
+        (Komlós–Greenberg schedule) on family-boundary adversarial wake-ups.
+    (d) Interleaving round-robin vs running the selective arm alone for
+        ``k`` close to ``n``.
+    """
+    cache = cache or shared_cache
+    rng = as_generator(seed)
+    result = ExperimentResult(
+        experiment="E10",
+        title="Ablations: window length, constant c, waiting rule, interleaving",
+        scale=scale.name,
+    )
+    n = scale.n_values[0]
+    k = max(2, min(16, n // 4))
+    patterns = _pattern_batch(n, k, scale, rng)
+
+    # (a) window length
+    table_a = TextTable(["window", "worst latency"])
+    default_window = matrix_parameters(n).window
+    for window in sorted({1, default_window, max(1, matrix_parameters(n).rows)}):
+        protocol = WakeupProtocol(n, window=window, seed=seed)
+        window_patterns = patterns + [
+            window_boundary_pattern(n, k, window_length=max(1, window), rng=rng)
+        ]
+        latency = worst_latency(protocol, window_patterns, max_slots=scale.max_slots)
+        table_a.add_row([window, latency])
+        result.rows.append(
+            {
+                "experiment": "E10",
+                "ablation": "window_length",
+                "n": n,
+                "k": k,
+                "window": window,
+                "latency": latency,
+            }
+        )
+    result.tables["ablation_window_length"] = table_a.render()
+
+    # (b) constant c
+    table_b = TextTable(["c", "worst latency", "matrix length"])
+    for c in (1, 2, 4):
+        protocol = WakeupProtocol(n, c=c, seed=seed)
+        latency = worst_latency(protocol, patterns, max_slots=scale.max_slots)
+        table_b.add_row([c, latency, protocol.params.length])
+        result.rows.append(
+            {
+                "experiment": "E10",
+                "ablation": "constant_c",
+                "n": n,
+                "k": k,
+                "c": c,
+                "latency": latency,
+            }
+        )
+    result.tables["ablation_constant_c"] = table_b.render()
+
+    # (c) waiting rule
+    families = cache.concatenation(n, k, seed=seed)
+    wait_and_go = WaitAndGo(n, k, families=families)
+    no_wait = KomlosGreenberg(n, k, families=families)
+    boundaries = wait_and_go.boundary_slots(up_to=2 * wait_and_go.period)
+    adversarial = [
+        family_boundary_pattern(n, k, boundaries=boundaries, rng=rng)
+        for _ in range(scale.seeds + scale.patterns_per_seed)
+    ]
+    table_c = TextTable(["protocol", "worst latency (boundary-adversarial wake-ups)"])
+    for name, protocol in (("wait_and_go", wait_and_go), ("no_wait (Komlos-Greenberg)", no_wait)):
+        latency = worst_latency(protocol, adversarial, max_slots=scale.max_slots)
+        table_c.add_row([name, latency])
+        result.rows.append(
+            {
+                "experiment": "E10",
+                "ablation": "waiting_rule",
+                "n": n,
+                "k": k,
+                "protocol": name,
+                "latency": latency,
+            }
+        )
+    result.tables["ablation_waiting_rule"] = table_c.render()
+
+    # (d) interleaving
+    k_large = max(2, (3 * n) // 4)
+    large_patterns = _pattern_batch(n, k_large, scale, rng)
+    with_interleave = WakeupWithS(n, s=0, families=cache.concatenation(n, n, seed=seed))
+    without_interleave = SelectAmongTheFirst(n, 0, cache.concatenation(n, n, seed=seed))
+    table_d = TextTable(["protocol", "k", "worst latency"])
+    for name, protocol in (
+        ("wakeup_with_s (interleaved)", with_interleave),
+        ("select_among_the_first only", without_interleave),
+    ):
+        latency = worst_latency(protocol, large_patterns, max_slots=scale.max_slots)
+        table_d.add_row([name, k_large, latency])
+        result.rows.append(
+            {
+                "experiment": "E10",
+                "ablation": "interleaving",
+                "n": n,
+                "k": k_large,
+                "protocol": name,
+                "latency": latency,
+            }
+        )
+    result.tables["ablation_interleaving"] = table_d.render()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E11 — Global vs local clock (extension; the paper's final open question)
+# ---------------------------------------------------------------------------
+
+
+def experiment_e11_global_vs_local_clock(
+    scale: ExperimentScale = QUICK, *, seed: int = 11, cache: Optional[FamilyCache] = None
+) -> ExperimentResult:
+    """E11 (extension): how much does the global clock buy?
+
+    The paper's conclusions ask whether the global clock is necessary and
+    conjecture the gap to locally synchronous solutions cannot be removed.
+    This experiment runs the globally-clocked algorithms next to their
+    locally-clocked counterparts (schedules indexed by each station's own
+    wake-up-relative time) on staggered wake-ups — the regime where the
+    clocks actually differ — and reports the latency ratio.
+    """
+    cache = cache or shared_cache
+    rng = as_generator(seed)
+    result = ExperimentResult(
+        experiment="E11",
+        title="Extension: global clock vs local clock",
+        scale=scale.name,
+    )
+    n = scale.n_values[0]
+    table = TextTable(
+        ["k", "wait_and_go (global)", "local-clock schedule", "scenario C (global)", "scenario C (local)"]
+    )
+    for k in scale.k_values(n, cap=min(n, 64)):
+        families = cache.concatenation(n, k, seed=seed)
+        global_b = WakeupWithK(n, k, families=families)
+        local_b = LocalClockWakeup(n, k, families=families)
+        global_c = WakeupProtocol(n, seed=seed)
+        local_c = LocalClockScenarioC(n, seed=seed)
+        patterns = [
+            staggered_pattern(n, k, gap=1, stations=list(range(n - k + 1, n + 1))),
+            staggered_pattern(n, k, gap=3, rng=rng),
+        ]
+        patterns += [
+            uniform_random_pattern(n, k, window=4 * k, rng=rng)
+            for _ in range(scale.patterns_per_seed)
+        ]
+        latencies = {}
+        for name, protocol in (
+            ("global_b", global_b),
+            ("local_b", local_b),
+            ("global_c", global_c),
+            ("local_c", local_c),
+        ):
+            worst = 0
+            for pattern in patterns:
+                latency, solved = _safe_latency(
+                    protocol, pattern, max_slots=scale.max_slots, rng=rng
+                )
+                worst = max(worst, latency if solved else scale.max_slots)
+            latencies[name] = worst
+        table.add_row(
+            [k, latencies["global_b"], latencies["local_b"], latencies["global_c"], latencies["local_c"]]
+        )
+        result.rows.append(
+            {
+                "experiment": "E11",
+                "n": n,
+                "k": k,
+                "wait_and_go_global": latencies["global_b"],
+                "local_clock_schedule": latencies["local_b"],
+                "scenario_c_global": latencies["global_c"],
+                "scenario_c_local": latencies["local_c"],
+            }
+        )
+    result.tables["global_vs_local_clock"] = table.render()
+    degradations = [
+        row["local_clock_schedule"] / max(1, row["wait_and_go_global"]) for row in result.rows
+    ]
+    median_ratio = float(np.median(degradations))
+    result.notes.append(
+        "median latency ratio local/global for the selective-family schedules: "
+        f"{median_ratio:.2f}x on this pattern battery"
+    )
+    result.notes.append(
+        "the paper's conjectured local-clock penalty is a worst-case statement: sampled "
+        "patterns rarely realize the shifted-schedule collisions that drive it, so a ratio "
+        "near (or below) 1x here does not contradict the conjecture — it shows the gap is "
+        "adversarial, not typical"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "E1": experiment_e1_scenario_a,
+    "E2": experiment_e2_scenario_b,
+    "E3": experiment_e3_scenario_c,
+    "E4": experiment_e4_lower_bound,
+    "E5": experiment_e5_scenario_gap,
+    "E6": experiment_e6_randomized,
+    "E7": experiment_e7_matrix_structure,
+    "E8": experiment_e8_selective_families,
+    "E9": experiment_e9_baselines,
+    "E10": experiment_e10_ablations,
+    "E11": experiment_e11_global_vs_local_clock,
+}
+
+
+def run_experiment(
+    experiment_id: str, scale: ExperimentScale = QUICK, **kwargs
+) -> ExperimentResult:
+    """Run a single experiment by its ID (``"E1"`` ... ``"E10"``)."""
+    try:
+        func = EXPERIMENTS[experiment_id.upper()]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; valid IDs: {sorted(EXPERIMENTS)}"
+        ) from exc
+    return func(scale, **kwargs)

@@ -1,0 +1,128 @@
+"""Runner helpers and the common result container for experiments.
+
+An experiment produces an :class:`ExperimentResult`: the raw per-configuration
+rows (flat dictionaries suitable for CSV export), the rendered tables and
+figures destined for EXPERIMENTS.md, and the bound certificates that encode
+the pass/fail verdicts.  The measurement helpers wrap the simulator with the
+"max/mean over a batch of patterns" conventions every experiment shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro._util import RngLike, as_generator
+from repro.analysis.certificates import BoundCertificate
+from repro.channel.protocols import DeterministicProtocol, RandomizedPolicy
+from repro.channel.simulator import run_deterministic, run_randomized
+from repro.channel.wakeup import WakeupPattern
+
+__all__ = ["ExperimentResult", "measure_latency", "worst_latency", "mean_latency"]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything an experiment produced.
+
+    Attributes
+    ----------
+    experiment:
+        Identifier (``"E1"`` ... ``"E10"``).
+    title:
+        Human-readable title (matches DESIGN.md's experiment index).
+    scale:
+        Name of the :class:`~repro.experiments.config.ExperimentScale` used.
+    rows:
+        Flat per-configuration dictionaries (exported to CSV by the harness).
+    tables:
+        Rendered text tables keyed by a short name.
+    figures:
+        Rendered ASCII figures keyed by a short name.
+    certificates:
+        Bound certificates produced by the experiment.
+    notes:
+        Free-form remarks (e.g. which substitutions were exercised).
+    """
+
+    experiment: str
+    title: str
+    scale: str
+    rows: List[Dict] = field(default_factory=list)
+    tables: Dict[str, str] = field(default_factory=dict)
+    figures: Dict[str, str] = field(default_factory=dict)
+    certificates: List[BoundCertificate] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def all_certificates_hold(self) -> bool:
+        """True iff every certificate attached to the experiment holds."""
+        return all(cert.holds for cert in self.certificates)
+
+    def summary(self) -> str:
+        """Multi-line summary: title, certificates, then tables."""
+        lines = [f"{self.experiment}: {self.title} (scale={self.scale})"]
+        for cert in self.certificates:
+            lines.append("  " + cert.describe())
+        for note in self.notes:
+            lines.append("  note: " + note)
+        for name, table in self.tables.items():
+            lines.append("")
+            lines.append(f"-- {name} --")
+            lines.append(table)
+        for name, figure in self.figures.items():
+            lines.append("")
+            lines.append(f"-- {name} --")
+            lines.append(figure)
+        return "\n".join(lines)
+
+
+def measure_latency(
+    protocol,
+    patterns: Sequence[WakeupPattern],
+    *,
+    max_slots: int = 1_000_000,
+    rng: RngLike = None,
+) -> List[int]:
+    """Latency (slots from first wake-up to first success) for each pattern.
+
+    Deterministic protocols and randomized policies are dispatched to the
+    appropriate engine; a run that does not solve wake-up within the horizon
+    raises, because every protocol in the library is supposed to succeed and a
+    silent truncation would corrupt the tables.
+    """
+    gen = as_generator(rng)
+    latencies: List[int] = []
+    for pattern in patterns:
+        if isinstance(protocol, DeterministicProtocol):
+            result = run_deterministic(protocol, pattern, max_slots=max_slots)
+        elif isinstance(protocol, RandomizedPolicy):
+            result = run_randomized(protocol, pattern, rng=gen, max_slots=max_slots)
+        else:
+            raise TypeError(f"unsupported protocol type {type(protocol).__name__}")
+        latencies.append(result.require_solved())
+    return latencies
+
+
+def worst_latency(
+    protocol,
+    patterns: Sequence[WakeupPattern],
+    *,
+    max_slots: int = 1_000_000,
+    rng: RngLike = None,
+) -> int:
+    """Maximum latency over a batch of patterns (the worst-case estimate)."""
+    return max(measure_latency(protocol, patterns, max_slots=max_slots, rng=rng))
+
+
+def mean_latency(
+    protocol,
+    patterns: Sequence[WakeupPattern],
+    *,
+    max_slots: int = 1_000_000,
+    rng: RngLike = None,
+) -> float:
+    """Mean latency over a batch of patterns (used for randomized protocols)."""
+    return float(np.mean(measure_latency(protocol, patterns, max_slots=max_slots, rng=rng)))

@@ -1,0 +1,28 @@
+"""Reporting: text tables, ASCII figures and result export.
+
+The benchmark harness prints the same rows/series the paper's claims are
+about; since the original paper contains no numeric tables (it is a theory
+paper), the formats here are the reproduction's own, designed so that the
+EXPERIMENTS.md tables can be regenerated verbatim from the benchmark runs.
+"""
+
+from repro.reporting.tables import TextTable, markdown_table
+from repro.reporting.figures import ascii_line_plot, render_matrix_occupancy, render_trace
+from repro.reporting.export import (
+    results_to_csv,
+    results_to_json,
+    write_csv,
+    write_json,
+)
+
+__all__ = [
+    "TextTable",
+    "markdown_table",
+    "ascii_line_plot",
+    "render_matrix_occupancy",
+    "render_trace",
+    "results_to_csv",
+    "results_to_json",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,108 @@
+"""Plain-text and Markdown tables.
+
+Small, dependency-free table rendering used by the benchmark harness and the
+examples.  Numbers are formatted compactly (integers as integers, floats with
+three significant digits) so that the tables in EXPERIMENTS.md stay readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence
+
+__all__ = ["TextTable", "markdown_table", "format_cell"]
+
+
+def format_cell(value: Any) -> str:
+    """Format a table cell: ints verbatim, floats to 4 significant digits."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.4g}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+@dataclass
+class TextTable:
+    """A simple column-aligned text table.
+
+    Examples
+    --------
+    >>> t = TextTable(["k", "latency"])
+    >>> t.add_row([2, 10]); t.add_row([4, 31])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    k | latency
+    --+--------
+    2 | 10
+    4 | 31
+    """
+
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    title: Optional[str] = None
+
+    def add_row(self, values: Sequence[Any]) -> None:
+        """Append a row (must match the number of headers)."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells but the table has {len(self.headers)} columns"
+            )
+        self.rows.append([format_cell(v) for v in values])
+
+    def add_rows(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Append several rows."""
+        for row in rows:
+            self.add_row(row)
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        separator = "-+-".join("-" * w for w in widths)
+        lines.append(header.rstrip())
+        lines.append(separator)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Render the table as GitHub-flavoured Markdown."""
+        return markdown_table(self.headers, self.rows, title=self.title)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render headers and rows as a Markdown table."""
+    lines = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.append("| " + " | ".join(str(h) for h in headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        cells = [format_cell(v) for v in row]
+        if len(cells) != len(headers):
+            raise ValueError("row length does not match header length")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

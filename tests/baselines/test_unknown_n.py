@@ -1,0 +1,90 @@
+"""Tests for repro.baselines.unknown_n (doubling round-robin)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.adversary import staggered_pattern, uniform_random_pattern
+from repro.channel.simulator import run_deterministic
+from repro.channel.wakeup import WakeupPattern
+from repro.baselines.unknown_n import DoublingRoundRobin
+
+
+class TestEpochGeometry:
+    def test_epoch_of(self):
+        protocol = DoublingRoundRobin(16)
+        assert protocol.epoch_of(0) == 0
+        assert protocol.epoch_of(1) == 1
+        assert protocol.epoch_of(2) == 1
+        assert protocol.epoch_of(3) == 2
+        assert protocol.epoch_of(6) == 2
+        assert protocol.epoch_of(7) == 3
+
+    def test_epoch_start(self):
+        protocol = DoublingRoundRobin(16)
+        assert [protocol.epoch_start(e) for e in range(5)] == [0, 1, 3, 7, 15]
+
+    def test_epochs_partition_the_timeline(self):
+        protocol = DoublingRoundRobin(16)
+        for slot in range(200):
+            epoch = protocol.epoch_of(slot)
+            assert protocol.epoch_start(epoch) <= slot < protocol.epoch_start(epoch + 1)
+
+    def test_owner_of_cycles_within_epoch(self):
+        protocol = DoublingRoundRobin(16)
+        # Epoch 2 covers slots 3..6 and owners 1..4.
+        assert [protocol.owner_of(s) for s in range(3, 7)] == [1, 2, 3, 4]
+
+    def test_validation(self):
+        protocol = DoublingRoundRobin(16)
+        with pytest.raises(ValueError):
+            protocol.epoch_of(-1)
+        with pytest.raises(ValueError):
+            protocol.epoch_start(-1)
+
+
+class TestProtocolBehaviour:
+    def test_exactly_one_owner_per_slot(self):
+        protocol = DoublingRoundRobin(8)
+        for slot in range(60):
+            owners = [u for u in range(1, 9) if protocol.transmits(u, 0, slot)]
+            assert len(owners) <= 1
+
+    def test_transmit_slots_matches_transmits(self):
+        protocol = DoublingRoundRobin(16)
+        for station in (1, 5, 11, 16):
+            for wake in (0, 4, 20):
+                expected = [t for t in range(120) if protocol.transmits(station, wake, t)]
+                got = protocol.transmit_slots(station, wake, 0, 120).tolist()
+                assert got == expected
+
+    def test_never_transmits_before_wake(self):
+        protocol = DoublingRoundRobin(16)
+        assert protocol.transmit_slots(3, 10, 0, 200).min() >= 10
+
+    def test_solves_wakeup_within_4_times_max_id(self):
+        protocol = DoublingRoundRobin(64)
+        for k, seed in [(1, 0), (3, 1), (8, 2), (16, 3)]:
+            pattern = uniform_random_pattern(64, k, window=8, rng=seed)
+            result = run_deterministic(protocol, pattern, max_slots=10_000)
+            assert result.solved
+            max_id = max(pattern.stations)
+            assert result.success_slot <= pattern.first_wake + 4 * max_id
+
+    def test_worst_case_latency_bound_shape(self):
+        protocol = DoublingRoundRobin(1024)
+        for max_id in (1, 2, 7, 16, 100, 1000):
+            assert protocol.worst_case_latency(max_id) <= 4 * max_id
+
+    def test_staggered_wakeups(self):
+        protocol = DoublingRoundRobin(32)
+        pattern = staggered_pattern(32, 6, gap=5, rng=4)
+        result = run_deterministic(protocol, pattern, max_slots=10_000)
+        assert result.solved
+
+    def test_single_station_with_large_id(self):
+        protocol = DoublingRoundRobin(64)
+        result = run_deterministic(protocol, WakeupPattern(64, {64: 0}), max_slots=1000)
+        assert result.solved
+        assert result.success_slot <= 4 * 64

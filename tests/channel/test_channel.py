@@ -1,0 +1,67 @@
+"""Tests for repro.channel.channel.Channel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.channel import Channel
+from repro.channel.events import SlotOutcome
+from repro.channel.feedback import CollisionDetection, FeedbackSignal
+
+
+class TestResolveSlot:
+    def test_success_collision_silence(self):
+        ch = Channel(8)
+        assert ch.resolve_slot(0, []) is SlotOutcome.SILENCE
+        assert ch.resolve_slot(1, [3]) is SlotOutcome.SUCCESS
+        assert ch.resolve_slot(2, [3, 5]) is SlotOutcome.COLLISION
+
+    def test_first_success_is_latched(self):
+        ch = Channel(8)
+        ch.resolve_slot(0, [2])
+        ch.resolve_slot(1, [5])
+        assert ch.success_slot == 0
+        assert ch.winner == 2
+        assert ch.has_succeeded
+
+    def test_station_validation(self):
+        ch = Channel(4)
+        with pytest.raises(ValueError):
+            ch.resolve_slot(0, [5])
+        with pytest.raises(ValueError):
+            ch.resolve_slot(0, [1, 1])
+
+    def test_trace_recording(self):
+        ch = Channel(8)
+        ch.resolve_slot(0, [1, 2], awake=3)
+        ch.resolve_slot(1, [4], awake=3)
+        assert len(ch.trace) == 2
+        assert ch.trace[0].outcome is SlotOutcome.COLLISION
+        assert ch.trace[0].awake == 3
+        assert ch.trace[1].winner == 4
+
+    def test_trace_disabled(self):
+        ch = Channel(8, record_trace=False)
+        ch.resolve_slot(0, [1])
+        assert len(ch.trace) == 0
+        assert ch.slots_resolved == 1
+
+    def test_reset(self):
+        ch = Channel(8)
+        ch.resolve_slot(0, [1])
+        ch.reset()
+        assert not ch.has_succeeded
+        assert len(ch.trace) == 0
+        assert ch.slots_resolved == 0
+
+
+class TestFeedback:
+    def test_default_model_hides_collisions(self):
+        ch = Channel(8)
+        signal = ch.signal_for(SlotOutcome.COLLISION, transmitted=True)
+        assert signal is FeedbackSignal.QUIET
+
+    def test_collision_detection_model(self):
+        ch = Channel(8, feedback=CollisionDetection())
+        signal = ch.signal_for(SlotOutcome.COLLISION, transmitted=False)
+        assert signal is FeedbackSignal.COLLISION

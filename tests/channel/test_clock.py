@@ -1,0 +1,41 @@
+"""Tests for repro.channel.clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.clock import GlobalClock, LocalClock
+
+
+class TestGlobalClock:
+    def test_perceived_round_is_global_slot(self):
+        clock = GlobalClock()
+        assert clock.perceived_round(global_slot=17, wake_time=3) == 17
+        assert clock.perceived_round(global_slot=3, wake_time=3) == 3
+
+    def test_not_awake_raises(self):
+        with pytest.raises(ValueError):
+            GlobalClock().perceived_round(global_slot=2, wake_time=3)
+
+
+class TestLocalClock:
+    def test_perceived_round_counts_from_wakeup(self):
+        clock = LocalClock()
+        assert clock.perceived_round(global_slot=17, wake_time=3) == 14
+        assert clock.perceived_round(global_slot=3, wake_time=3) == 0
+
+    def test_not_awake_raises(self):
+        with pytest.raises(ValueError):
+            LocalClock().perceived_round(global_slot=0, wake_time=1)
+
+    def test_two_stations_disagree_under_local_clock(self):
+        clock = LocalClock()
+        a = clock.perceived_round(global_slot=10, wake_time=0)
+        b = clock.perceived_round(global_slot=10, wake_time=4)
+        assert a != b
+
+    def test_two_stations_agree_under_global_clock(self):
+        clock = GlobalClock()
+        a = clock.perceived_round(global_slot=10, wake_time=0)
+        b = clock.perceived_round(global_slot=10, wake_time=4)
+        assert a == b

@@ -1,0 +1,44 @@
+"""Tests for repro.channel.events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.events import SlotOutcome, SlotRecord
+
+
+class TestSlotOutcome:
+    def test_from_transmitter_count(self):
+        assert SlotOutcome.from_transmitter_count(0) is SlotOutcome.SILENCE
+        assert SlotOutcome.from_transmitter_count(1) is SlotOutcome.SUCCESS
+        assert SlotOutcome.from_transmitter_count(2) is SlotOutcome.COLLISION
+        assert SlotOutcome.from_transmitter_count(100) is SlotOutcome.COLLISION
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            SlotOutcome.from_transmitter_count(-1)
+
+    def test_is_success(self):
+        assert SlotOutcome.SUCCESS.is_success
+        assert not SlotOutcome.SILENCE.is_success
+        assert not SlotOutcome.COLLISION.is_success
+
+
+class TestSlotRecord:
+    def test_consistent_record(self):
+        record = SlotRecord(slot=5, transmitters=frozenset({3}), outcome=SlotOutcome.SUCCESS)
+        assert record.winner == 3
+
+    def test_winner_none_for_collision_and_silence(self):
+        collision = SlotRecord(
+            slot=0, transmitters=frozenset({1, 2}), outcome=SlotOutcome.COLLISION
+        )
+        silence = SlotRecord(slot=1, transmitters=frozenset(), outcome=SlotOutcome.SILENCE)
+        assert collision.winner is None
+        assert silence.winner is None
+
+    def test_inconsistent_outcome_rejected(self):
+        with pytest.raises(ValueError):
+            SlotRecord(slot=0, transmitters=frozenset({1, 2}), outcome=SlotOutcome.SUCCESS)
+        with pytest.raises(ValueError):
+            SlotRecord(slot=0, transmitters=frozenset(), outcome=SlotOutcome.SUCCESS)

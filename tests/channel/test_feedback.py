@@ -1,0 +1,41 @@
+"""Tests for repro.channel.feedback."""
+
+from __future__ import annotations
+
+from repro.channel.events import SlotOutcome
+from repro.channel.feedback import (
+    CollisionDetection,
+    FeedbackSignal,
+    NoCollisionDetection,
+)
+
+
+class TestNoCollisionDetection:
+    def test_success_is_observable(self):
+        model = NoCollisionDetection()
+        assert model.observe(SlotOutcome.SUCCESS, transmitted=False) is FeedbackSignal.SUCCESS
+        assert model.observe(SlotOutcome.SUCCESS, transmitted=True) is FeedbackSignal.SUCCESS
+
+    def test_collision_and_silence_indistinguishable(self):
+        model = NoCollisionDetection()
+        collision = model.observe(SlotOutcome.COLLISION, transmitted=True)
+        silence = model.observe(SlotOutcome.SILENCE, transmitted=False)
+        assert collision is FeedbackSignal.QUIET
+        assert silence is FeedbackSignal.QUIET
+
+    def test_does_not_detect_collisions(self):
+        assert not NoCollisionDetection().detects_collisions
+
+
+class TestCollisionDetection:
+    def test_ternary_feedback(self):
+        model = CollisionDetection()
+        assert model.observe(SlotOutcome.SUCCESS, transmitted=False) is FeedbackSignal.SUCCESS
+        assert model.observe(SlotOutcome.COLLISION, transmitted=True) is FeedbackSignal.COLLISION
+        assert model.observe(SlotOutcome.SILENCE, transmitted=False) is FeedbackSignal.QUIET
+
+    def test_detects_collisions(self):
+        assert CollisionDetection().detects_collisions
+
+    def test_model_names_distinct(self):
+        assert NoCollisionDetection().name != CollisionDetection().name

@@ -1,0 +1,79 @@
+"""Tests for the protocol interfaces in repro.channel.protocols."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.feedback import FeedbackSignal
+from repro.channel.protocols import DeterministicProtocol, RandomizedPolicy, StationState
+
+
+class EveryThirdSlot(DeterministicProtocol):
+    """Transmit on slots divisible by 3 (once awake)."""
+
+    name = "every-third"
+
+    def transmits(self, station, wake_time, slot):
+        return slot >= wake_time and slot % 3 == 0
+
+
+class HalfProbability(RandomizedPolicy):
+    name = "half"
+
+    def transmit_probability(self, state, slot):
+        return 0.5
+
+
+class TestDeterministicProtocolDefaults:
+    def test_default_transmit_slots_uses_transmits(self):
+        protocol = EveryThirdSlot(8)
+        slots = protocol.transmit_slots(1, wake_time=2, start=0, stop=20)
+        assert slots.tolist() == [3, 6, 9, 12, 15, 18]
+
+    def test_default_transmit_slots_respects_wake_time(self):
+        protocol = EveryThirdSlot(8)
+        slots = protocol.transmit_slots(1, wake_time=7, start=0, stop=20)
+        assert slots.min() >= 7
+
+    def test_empty_range(self):
+        protocol = EveryThirdSlot(8)
+        assert protocol.transmit_slots(1, 0, 10, 10).size == 0
+        assert protocol.transmit_slots(1, 0, 10, 5).size == 0
+
+    def test_describe_mentions_n(self):
+        assert "n=8" in EveryThirdSlot(8).describe()
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError):
+            EveryThirdSlot(0)
+
+
+class TestStationState:
+    def test_initial_counts(self):
+        state = StationState(3, 7)
+        assert state.station == 3
+        assert state.wake_time == 7
+        assert state.transmission_count == 0
+        assert state.collision_count == 0
+        assert state.extra == {}
+
+
+class TestRandomizedPolicyDefaults:
+    def test_create_state(self):
+        policy = HalfProbability(8)
+        state = policy.create_state(2, 5)
+        assert isinstance(state, StationState)
+        assert (state.station, state.wake_time) == (2, 5)
+
+    def test_observe_bookkeeping(self):
+        policy = HalfProbability(8)
+        state = policy.create_state(2, 0)
+        policy.observe(state, 0, FeedbackSignal.COLLISION, transmitted=True)
+        policy.observe(state, 1, FeedbackSignal.QUIET, transmitted=False)
+        policy.observe(state, 2, FeedbackSignal.SUCCESS, transmitted=True)
+        assert state.transmission_count == 2
+        assert state.collision_count == 1
+
+    def test_requires_collision_detection_default_false(self):
+        assert HalfProbability(8).requires_collision_detection is False

@@ -1,0 +1,84 @@
+"""Tests for repro.channel.trace.ExecutionTrace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.events import SlotOutcome, SlotRecord
+from repro.channel.trace import ExecutionTrace
+
+
+def _record(slot, transmitters):
+    return SlotRecord(
+        slot=slot,
+        transmitters=frozenset(transmitters),
+        outcome=SlotOutcome.from_transmitter_count(len(transmitters)),
+    )
+
+
+class TestExecutionTrace:
+    def test_append_and_iterate(self):
+        trace = ExecutionTrace()
+        trace.append(_record(0, []))
+        trace.append(_record(1, [2, 3]))
+        trace.append(_record(2, [4]))
+        assert len(trace) == 3
+        assert [r.slot for r in trace] == [0, 1, 2]
+        assert trace[1].outcome is SlotOutcome.COLLISION
+
+    def test_out_of_order_append_rejected(self):
+        trace = ExecutionTrace()
+        trace.append(_record(3, []))
+        with pytest.raises(ValueError):
+            trace.append(_record(3, []))
+        with pytest.raises(ValueError):
+            trace.append(_record(1, []))
+
+    def test_first_success(self):
+        trace = ExecutionTrace()
+        trace.append(_record(0, [1, 2]))
+        trace.append(_record(1, [5]))
+        trace.append(_record(2, [6]))
+        first = trace.first_success()
+        assert first is not None and first.slot == 1 and first.winner == 5
+
+    def test_first_success_none(self):
+        trace = ExecutionTrace()
+        trace.append(_record(0, [1, 2]))
+        assert trace.first_success() is None
+
+    def test_outcome_counts_and_slot_queries(self):
+        trace = ExecutionTrace()
+        trace.append(_record(0, []))
+        trace.append(_record(1, [1, 2]))
+        trace.append(_record(2, [3]))
+        counts = trace.outcome_counts()
+        assert counts[SlotOutcome.SILENCE] == 1
+        assert counts[SlotOutcome.COLLISION] == 1
+        assert counts[SlotOutcome.SUCCESS] == 1
+        assert trace.collision_slots() == [1]
+        assert trace.silent_slots() == [0]
+
+    def test_transmissions_of(self):
+        trace = ExecutionTrace()
+        trace.append(_record(0, [1, 2]))
+        trace.append(_record(1, [1]))
+        assert trace.transmissions_of(1) == [0, 1]
+        assert trace.transmissions_of(2) == [0]
+        assert trace.transmissions_of(9) == []
+
+    def test_busiest_slot(self):
+        trace = ExecutionTrace()
+        trace.append(_record(0, [1]))
+        trace.append(_record(1, [1, 2, 3]))
+        trace.append(_record(2, [4, 5]))
+        busiest = trace.busiest_slot()
+        assert busiest is not None and busiest.slot == 1
+
+    def test_busiest_slot_empty(self):
+        assert ExecutionTrace().busiest_slot() is None
+
+    def test_to_rows(self):
+        trace = ExecutionTrace()
+        trace.append(_record(0, [7]))
+        assert trace.to_rows() == [(0, "success", 1)]

@@ -1,0 +1,87 @@
+"""Tests for repro.channel.wakeup.WakeupPattern."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.wakeup import WakeupPattern
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        p = WakeupPattern(8, {3: 0, 5: 2, 7: 2})
+        assert p.k == 3
+        assert p.n == 8
+        assert p.first_wake == 0
+        assert p.last_wake == 2
+        assert p.stations == (3, 5, 7)
+        assert len(p) == 3
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            WakeupPattern(8, {})
+
+    def test_negative_wake_time_rejected(self):
+        with pytest.raises(ValueError):
+            WakeupPattern(8, {3: -1})
+
+    def test_station_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            WakeupPattern(8, {9: 0})
+        with pytest.raises(ValueError):
+            WakeupPattern(8, {0: 0})
+
+    def test_wake_time_lookup(self):
+        p = WakeupPattern(8, {3: 4})
+        assert p.wake_time(3) == 4
+        assert p.wake_time(5) is None
+
+
+class TestDerivedViews:
+    def test_awake_at(self):
+        p = WakeupPattern(8, {3: 0, 5: 2, 7: 5})
+        assert p.awake_at(0) == (3,)
+        assert p.awake_at(1) == (3,)
+        assert p.awake_at(2) == (3, 5)
+        assert p.awake_at(10) == (3, 5, 7)
+        assert p.awake_count_at(4) == 2
+
+    def test_iteration_order_by_wake_time_then_id(self):
+        p = WakeupPattern(8, {7: 2, 3: 0, 5: 2})
+        assert list(p) == [(3, 0), (5, 2), (7, 2)]
+
+    def test_wake_array(self):
+        p = WakeupPattern(8, {3: 0, 5: 2})
+        arr = p.wake_array()
+        assert arr.shape == (2, 2)
+        assert arr[0].tolist() == [3, 5]
+        assert arr[1].tolist() == [0, 2]
+
+    def test_shifted_and_normalized(self):
+        p = WakeupPattern(8, {3: 4, 5: 6})
+        shifted = p.shifted(3)
+        assert shifted.first_wake == 7
+        normalized = p.normalized()
+        assert normalized.first_wake == 0
+        assert normalized.wake_time(5) == 2
+
+    def test_shift_below_zero_rejected(self):
+        p = WakeupPattern(8, {3: 1})
+        with pytest.raises(ValueError):
+            p.shifted(-2)
+
+    def test_restricted(self):
+        p = WakeupPattern(8, {3: 0, 5: 2, 7: 5})
+        sub = p.restricted([5, 7])
+        assert sub.stations == (5, 7)
+        assert sub.first_wake == 2
+
+    def test_restricted_to_empty_rejected(self):
+        p = WakeupPattern(8, {3: 0})
+        with pytest.raises(ValueError):
+            p.restricted([5])
+
+    def test_describe_mentions_key_parameters(self):
+        text = WakeupPattern(8, {3: 0, 5: 6}).describe()
+        assert "n=8" in text and "k=2" in text and "s=0" in text

@@ -1,0 +1,89 @@
+"""Tests for repro.combinatorics.finite_field."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.combinatorics.finite_field import Polynomial, PrimeField
+
+
+class TestPrimeField:
+    def test_rejects_composite_modulus(self):
+        with pytest.raises(ValueError):
+            PrimeField(6)
+
+    def test_basic_arithmetic(self):
+        gf = PrimeField(7)
+        assert gf.add(5, 4) == 2
+        assert gf.sub(2, 5) == 4
+        assert gf.mul(3, 5) == 1
+        assert gf.pow(3, 6) == 1  # Fermat's little theorem
+
+    def test_inverse_times_self_is_one(self):
+        gf = PrimeField(13)
+        for a in range(1, 13):
+            assert gf.mul(a, gf.inverse(a)) == 1
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            PrimeField(5).inverse(0)
+
+    def test_division(self):
+        gf = PrimeField(11)
+        for a in range(11):
+            for b in range(1, 11):
+                assert gf.mul(gf.div(a, b), b) == a % 11
+
+    def test_negative_exponent_uses_inverse(self):
+        gf = PrimeField(7)
+        assert gf.pow(3, -1) == gf.inverse(3)
+
+    def test_elements_and_order(self):
+        gf = PrimeField(5)
+        assert list(gf.elements()) == [0, 1, 2, 3, 4]
+        assert gf.order == 5
+
+
+class TestPolynomial:
+    def test_evaluation_matches_direct_formula(self):
+        gf = PrimeField(5)
+        poly = Polynomial(gf, (1, 2, 3))  # 1 + 2x + 3x^2
+        for x in range(5):
+            assert poly(x) == (1 + 2 * x + 3 * x * x) % 5
+
+    def test_coefficients_are_reduced(self):
+        gf = PrimeField(5)
+        poly = Polynomial(gf, (6, 7))
+        assert poly.coeffs == (1, 2)
+
+    def test_degree(self):
+        gf = PrimeField(7)
+        assert Polynomial(gf, (3, 0, 0)).degree == 0
+        assert Polynomial(gf, (1, 2, 3)).degree == 2
+        assert Polynomial(gf, ()).degree == 0
+
+    def test_evaluate_all_length(self):
+        gf = PrimeField(11)
+        poly = Polynomial(gf, (4, 1))
+        values = poly.evaluate_all()
+        assert len(values) == 11
+        assert values == [poly(x) for x in range(11)]
+
+    def test_from_integer_roundtrip_distinctness(self):
+        gf = PrimeField(5)
+        polys = [Polynomial.from_integer(gf, v, degree=2) for v in range(125)]
+        assert len({p.coeffs for p in polys}) == 125
+
+    def test_from_integer_out_of_range(self):
+        gf = PrimeField(3)
+        with pytest.raises(ValueError):
+            Polynomial.from_integer(gf, 27, degree=2)  # needs 4 digits base 3
+        with pytest.raises(ValueError):
+            Polynomial.from_integer(gf, -1, degree=2)
+
+    def test_two_distinct_degree_d_polynomials_agree_on_at_most_d_points(self):
+        gf = PrimeField(11)
+        p1 = Polynomial.from_integer(gf, 17, degree=2)
+        p2 = Polynomial.from_integer(gf, 93, degree=2)
+        agreements = sum(1 for x in range(11) if p1(x) == p2(x))
+        assert agreements <= 2

@@ -1,0 +1,84 @@
+"""Tests for repro.combinatorics.superimposed (Kautz–Singleton codes)."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.combinatorics.superimposed import (
+    SuperimposedCode,
+    code_to_set_family,
+    kautz_singleton_code,
+)
+
+
+class TestKautzSingletonCode:
+    def test_codeword_count_and_shape(self):
+        code = kautz_singleton_code(n=20, k=2)
+        assert code.n == 20
+        assert code.matrix.shape == (20, code.length)
+        assert code.length == code.q * code.q
+
+    def test_constant_weight(self):
+        code = kautz_singleton_code(n=30, k=3)
+        for u in range(1, 31):
+            assert code.weight(u) == code.q
+
+    def test_codewords_distinct(self):
+        code = kautz_singleton_code(n=40, k=2)
+        rows = {tuple(row.tolist()) for row in code.matrix}
+        assert len(rows) == 40
+
+    def test_cover_freeness_exhaustive_small(self):
+        # No codeword is covered by the union of any k=2 others.
+        code = kautz_singleton_code(n=10, k=2)
+        for target in range(10):
+            others = [i for i in range(10) if i != target]
+            for pair in combinations(others, 2):
+                union = code.matrix[pair[0]] | code.matrix[pair[1]]
+                assert not np.all(union[code.matrix[target]]), (target, pair)
+
+    def test_parameters_satisfy_constraints(self):
+        for n, k in [(16, 2), (100, 3), (64, 4), (257, 2)]:
+            code = kautz_singleton_code(n=n, k=k)
+            assert code.q ** (code.degree + 1) >= n
+            assert code.q > k * code.degree
+
+    def test_single_station_universe(self):
+        code = kautz_singleton_code(n=1, k=1)
+        assert code.length == 1
+        assert code.matrix.shape == (1, 1)
+
+    def test_codeword_validation(self):
+        code = kautz_singleton_code(n=5, k=2)
+        with pytest.raises(ValueError):
+            code.codeword(0)
+        with pytest.raises(ValueError):
+            code.codeword(6)
+
+    def test_mismatched_matrix_shape_rejected(self):
+        with pytest.raises(ValueError):
+            SuperimposedCode(
+                n=2, length=3, strength=1, matrix=np.ones((2, 2), dtype=bool), q=2, degree=1
+            )
+
+
+class TestCodeToSetFamily:
+    def test_column_sets_match_matrix(self):
+        code = kautz_singleton_code(n=12, k=2)
+        family = code_to_set_family(code)
+        # Every station appears exactly `weight` = q times across the family.
+        counts = {u: 0 for u in range(1, 13)}
+        for s in family:
+            for u in s:
+                counts[u] += 1
+        for u in range(1, 13):
+            assert counts[u] == code.q
+
+    def test_empty_columns_dropped(self):
+        code = kautz_singleton_code(n=3, k=2)
+        family = code_to_set_family(code)
+        assert all(len(s) > 0 for s in family)
+        assert family.length <= code.length

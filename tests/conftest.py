@@ -1,0 +1,46 @@
+"""Shared pytest fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.wakeup import WakeupPattern
+from repro.core.selective import concatenated_families
+from repro.experiments.cache import FamilyCache
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic numpy generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def family_cache() -> FamilyCache:
+    """A session-wide selective-family cache so expensive constructions are shared."""
+    return FamilyCache()
+
+
+@pytest.fixture(scope="session")
+def small_families_16():
+    """Concatenated (16, 2^j)-selective families used by several protocol tests."""
+    return concatenated_families(16, 16, rng=7)
+
+
+@pytest.fixture(scope="session")
+def small_families_32():
+    """Concatenated (32, 2^j)-selective families used by several protocol tests."""
+    return concatenated_families(32, 32, rng=7)
+
+
+@pytest.fixture
+def simple_pattern() -> WakeupPattern:
+    """A small three-station pattern with staggered wake-ups."""
+    return WakeupPattern(16, {3: 0, 7: 2, 12: 5})
+
+
+@pytest.fixture
+def simultaneous_small_pattern() -> WakeupPattern:
+    """Four stations waking simultaneously at slot 0 in a 16-station universe."""
+    return WakeupPattern(16, {2: 0, 5: 0, 9: 0, 14: 0})

@@ -1,0 +1,108 @@
+"""Tests for repro.core.randomized (RPD, Decay, fixed probability)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import ceil_log2
+from repro.channel.adversary import simultaneous_pattern, uniform_random_pattern
+from repro.channel.simulator import run_randomized
+from repro.channel.wakeup import WakeupPattern
+from repro.core.randomized import (
+    DecayPolicy,
+    FixedProbabilityPolicy,
+    RepeatedProbabilityDecrease,
+)
+
+
+class TestRepeatedProbabilityDecrease:
+    def test_period_from_n_or_k(self):
+        assert RepeatedProbabilityDecrease(256).period == 8
+        assert RepeatedProbabilityDecrease(256, k=16).period == 4
+        assert RepeatedProbabilityDecrease(2).period == 1
+
+    def test_probability_sweep_cycles(self):
+        policy = RepeatedProbabilityDecrease(16)  # period 4
+        state = policy.create_state(1, 0)
+        probs = [policy.transmit_probability(state, t) for t in range(8)]
+        assert probs[:4] == [0.5, 0.25, 0.125, 0.0625]
+        assert probs[4:] == probs[:4]
+
+    def test_probability_depends_on_global_slot_not_wake(self):
+        policy = RepeatedProbabilityDecrease(16)
+        early = policy.create_state(1, 0)
+        late = policy.create_state(2, 3)
+        assert policy.transmit_probability(early, 5) == policy.transmit_probability(late, 5)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            RepeatedProbabilityDecrease(16, k=17)
+
+    def test_expected_latency_scales_with_log_n(self):
+        # Mean latency for k=4 should be well below n (it is O(log n)).
+        n = 256
+        policy = RepeatedProbabilityDecrease(n)
+        rng = np.random.default_rng(0)
+        latencies = []
+        for seed in range(30):
+            pattern = simultaneous_pattern(n, 4, rng=seed)
+            result = run_randomized(policy, pattern, rng=rng, max_slots=100_000)
+            latencies.append(result.require_solved())
+        assert np.mean(latencies) < 8 * np.log2(n)
+
+    def test_known_k_not_slower_than_unknown_on_average(self):
+        n, k = 256, 4
+        rng = np.random.default_rng(1)
+        unknown, known = [], []
+        for seed in range(40):
+            pattern = simultaneous_pattern(n, k, rng=seed)
+            unknown.append(
+                run_randomized(RepeatedProbabilityDecrease(n), pattern, rng=rng).require_solved()
+            )
+            known.append(
+                run_randomized(
+                    RepeatedProbabilityDecrease(n, k=k), pattern, rng=rng
+                ).require_solved()
+            )
+        assert np.mean(known) <= np.mean(unknown) + 1.0
+
+    def test_describe(self):
+        assert "rpd" in RepeatedProbabilityDecrease(16).describe()
+        assert "k=4" in RepeatedProbabilityDecrease(16, k=4).describe()
+
+
+class TestDecayPolicy:
+    def test_phase_counts_from_wake(self):
+        policy = DecayPolicy(16)
+        state = policy.create_state(1, 3)
+        assert policy.transmit_probability(state, 3) == 0.5
+        assert policy.transmit_probability(state, 4) == 0.25
+
+    def test_solves_wakeup(self):
+        policy = DecayPolicy(64)
+        pattern = WakeupPattern(64, {3: 0, 7: 1, 20: 5})
+        result = run_randomized(policy, pattern, rng=0, max_slots=50_000)
+        assert result.solved
+
+    def test_custom_period(self):
+        assert DecayPolicy(64, period=3).period == 3
+
+
+class TestFixedProbabilityPolicy:
+    def test_probability_constant(self):
+        policy = FixedProbabilityPolicy(16, 0.25)
+        state = policy.create_state(1, 0)
+        assert policy.transmit_probability(state, 0) == 0.25
+        assert policy.transmit_probability(state, 99) == 0.25
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            FixedProbabilityPolicy(16, 0.0)
+        with pytest.raises(ValueError):
+            FixedProbabilityPolicy(16, 1.5)
+
+    def test_single_station_with_p_one_wins_immediately(self):
+        policy = FixedProbabilityPolicy(8, 1.0)
+        result = run_randomized(policy, WakeupPattern(8, {5: 2}), rng=0)
+        assert result.solved and result.latency == 0

@@ -1,0 +1,103 @@
+"""Tests for repro.core.scenario_a (SelectAmongTheFirst, WakeupWithS)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.adversary import simultaneous_pattern, staggered_pattern, uniform_random_pattern
+from repro.channel.simulator import run_deterministic
+from repro.channel.wakeup import WakeupPattern
+from repro.core.lower_bounds import scenario_ab_bound
+from repro.core.scenario_a import SelectAmongTheFirst, WakeupWithS
+
+
+class TestSelectAmongTheFirst:
+    def test_only_first_wakers_participate(self, small_families_16):
+        protocol = SelectAmongTheFirst(16, s=0, families=small_families_16)
+        assert protocol.participates(0)
+        assert not protocol.participates(1)
+        # A station waking later never transmits.
+        assert protocol.transmit_slots(3, 5, 0, protocol.schedule_length).size == 0
+
+    def test_no_transmission_before_wake_or_origin(self, small_families_16):
+        protocol = SelectAmongTheFirst(16, s=4, families=small_families_16)
+        assert not any(protocol.transmits(u, 4, t) for u in range(1, 17) for t in range(4))
+
+    def test_solves_for_simultaneous_wakers(self, small_families_16):
+        protocol = SelectAmongTheFirst(16, s=0, families=small_families_16)
+        for k in (1, 2, 5, 16):
+            pattern = simultaneous_pattern(16, k, rng=k)
+            result = run_deterministic(protocol, pattern, max_slots=10_000)
+            assert result.solved, k
+
+    def test_transmit_slots_matches_transmits(self, small_families_16):
+        protocol = SelectAmongTheFirst(16, s=2, families=small_families_16)
+        horizon = min(protocol.schedule_length + 5, 200)
+        for station in (1, 7, 16):
+            for wake in (0, 2, 3):
+                expected = [t for t in range(horizon) if protocol.transmits(station, wake, t)]
+                got = protocol.transmit_slots(station, wake, 0, horizon).tolist()
+                assert got == expected
+
+    def test_negative_s_rejected(self, small_families_16):
+        with pytest.raises(ValueError):
+            SelectAmongTheFirst(16, s=-1, families=small_families_16)
+
+    def test_mismatched_family_universe_rejected(self, small_families_32):
+        with pytest.raises(ValueError):
+            SelectAmongTheFirst(16, s=0, families=small_families_32)
+
+    def test_default_family_construction(self):
+        protocol = SelectAmongTheFirst(8, s=0, rng=1)
+        assert protocol.schedule_length > 0
+
+
+class TestWakeupWithS:
+    def test_solves_on_staggered_wakeups(self, small_families_16):
+        protocol = WakeupWithS(16, s=0, families=small_families_16)
+        pattern = WakeupPattern(16, {2: 0, 9: 3, 13: 6, 4: 10})
+        result = run_deterministic(protocol, pattern, max_slots=10_000)
+        assert result.solved
+
+    def test_solves_for_every_k_simultaneous(self, small_families_16):
+        protocol = WakeupWithS(16, s=0, families=small_families_16)
+        for k in range(1, 17):
+            pattern = simultaneous_pattern(16, k, rng=k)
+            result = run_deterministic(protocol, pattern, max_slots=10_000)
+            assert result.solved, k
+            # Round-robin arm caps the latency at 2n regardless of k.
+            assert result.latency <= 2 * 16
+
+    def test_latency_within_constant_of_bound(self, small_families_32):
+        n = 32
+        protocol = WakeupWithS(n, s=0, families=small_families_32)
+        for k in (2, 4, 8, 16, 32):
+            worst = 0
+            for seed in range(3):
+                pattern = uniform_random_pattern(n, k, window=2 * k, rng=seed)
+                result = run_deterministic(protocol, pattern, max_slots=50_000)
+                assert result.solved
+                worst = max(worst, result.latency)
+            assert worst <= 48 * scenario_ab_bound(n, k)
+
+    def test_no_transmission_before_wake(self, small_families_16):
+        protocol = WakeupWithS(16, s=0, families=small_families_16)
+        for station in (1, 5, 16):
+            for wake in (0, 3, 7):
+                slots = protocol.transmit_slots(station, wake, 0, 64)
+                assert slots.size == 0 or slots.min() >= wake
+
+    def test_nonzero_s(self, small_families_16):
+        protocol = WakeupWithS(16, s=5, families=small_families_16)
+        pattern = WakeupPattern(16, {3: 5, 11: 5, 14: 9})
+        result = run_deterministic(protocol, pattern, max_slots=10_000)
+        assert result.solved
+
+    def test_describe(self, small_families_16):
+        protocol = WakeupWithS(16, s=0, families=small_families_16)
+        assert "wakeup-with-s" in protocol.describe()
+
+    def test_negative_s_rejected(self):
+        with pytest.raises(ValueError):
+            WakeupWithS(16, s=-2, rng=0)

@@ -1,0 +1,143 @@
+"""Tests for repro.core.scenario_b (WaitAndGo, WakeupWithK)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.adversary import (
+    family_boundary_pattern,
+    simultaneous_pattern,
+    uniform_random_pattern,
+)
+from repro.channel.simulator import run_deterministic
+from repro.channel.wakeup import WakeupPattern
+from repro.core.lower_bounds import scenario_ab_bound
+from repro.core.scenario_b import WaitAndGo, WakeupWithK
+from repro.core.selective import concatenated_families
+
+
+@pytest.fixture(scope="module")
+def families_32_k8():
+    return concatenated_families(32, 8, rng=11)
+
+
+class TestWaitAndGoGeometry:
+    def test_period_is_sum_of_family_lengths(self, families_32_k8):
+        protocol = WaitAndGo(32, 8, families=families_32_k8)
+        assert protocol.period == sum(f.length for f in families_32_k8)
+
+    def test_family_boundaries_are_prefix_sums(self, families_32_k8):
+        protocol = WaitAndGo(32, 8, families=families_32_k8)
+        lengths = [f.length for f in families_32_k8]
+        expected = [0]
+        for length in lengths[:-1]:
+            expected.append(expected[-1] + length)
+        assert list(protocol.family_boundaries()) == expected
+
+    def test_boundary_slots_cover_multiple_periods(self, families_32_k8):
+        protocol = WaitAndGo(32, 8, families=families_32_k8)
+        slots = protocol.boundary_slots(up_to=2 * protocol.period + 1)
+        assert 0 in slots
+        assert protocol.period in slots
+        assert all(s < 2 * protocol.period + 1 for s in slots)
+
+    def test_activation_slot_is_next_boundary(self, families_32_k8):
+        protocol = WaitAndGo(32, 8, families=families_32_k8)
+        boundaries = set(protocol.boundary_slots(up_to=3 * protocol.period))
+        for wake in (0, 1, 5, protocol.period - 1, protocol.period, protocol.period + 3):
+            sigma = protocol.activation_slot(wake)
+            assert sigma >= wake
+            assert sigma in boundaries
+            # Minimality: no boundary strictly between wake and sigma.
+            assert not any(wake <= b < sigma for b in boundaries)
+
+    def test_activation_slot_validation(self, families_32_k8):
+        protocol = WaitAndGo(32, 8, families=families_32_k8)
+        with pytest.raises(ValueError):
+            protocol.activation_slot(-1)
+
+
+class TestWaitAndGoBehaviour:
+    def test_waits_until_activation(self, families_32_k8):
+        protocol = WaitAndGo(32, 8, families=families_32_k8)
+        wake = 3
+        sigma = protocol.activation_slot(wake)
+        for t in range(wake, sigma):
+            assert not any(protocol.transmits(u, wake, t) for u in range(1, 33))
+
+    def test_transmit_slots_matches_transmits(self, families_32_k8):
+        protocol = WaitAndGo(32, 8, families=families_32_k8)
+        horizon = 120
+        for station in (1, 9, 32):
+            for wake in (0, 2, 17):
+                expected = [t for t in range(horizon) if protocol.transmits(station, wake, t)]
+                got = protocol.transmit_slots(station, wake, 0, horizon).tolist()
+                assert got == expected
+
+    def test_solves_simultaneous_within_bound(self, families_32_k8):
+        protocol = WaitAndGo(32, 8, families=families_32_k8)
+        for k in (1, 2, 4, 8):
+            pattern = simultaneous_pattern(32, k, rng=k)
+            result = run_deterministic(protocol, pattern, max_slots=20_000)
+            assert result.solved
+
+    def test_mismatched_family_universe_rejected(self):
+        families = concatenated_families(16, 4, rng=0)
+        with pytest.raises(ValueError):
+            WaitAndGo(32, 4, families=families)
+
+    def test_default_families(self):
+        protocol = WaitAndGo(16, 4, rng=3)
+        assert protocol.period > 0
+
+
+class TestWakeupWithK:
+    def test_solves_adversarial_boundary_wakeups(self, families_32_k8):
+        protocol = WakeupWithK(32, 8, families=families_32_k8)
+        boundaries = protocol.family_boundaries_absolute(up_to=4 * protocol.wait_and_go_arm.period)
+        pattern = family_boundary_pattern(32, 8, boundaries=boundaries, rng=5)
+        result = run_deterministic(protocol, pattern, max_slots=50_000)
+        assert result.solved
+
+    def test_round_robin_arm_caps_latency(self, families_32_k8):
+        # Even when k equals n the interleaved round-robin guarantees <= 2n slots.
+        protocol = WakeupWithK(32, 8, families=families_32_k8)
+        pattern = simultaneous_pattern(32, 32, rng=0)
+        result = run_deterministic(protocol, pattern, max_slots=5_000)
+        assert result.solved
+        assert result.latency <= 2 * 32
+
+    def test_latency_within_constant_of_bound(self):
+        n = 32
+        for k in (2, 4, 8, 16):
+            families = concatenated_families(n, k, rng=k)
+            protocol = WakeupWithK(n, k, families=families)
+            worst = 0
+            for seed in range(3):
+                pattern = uniform_random_pattern(n, k, window=2 * k, rng=seed)
+                result = run_deterministic(protocol, pattern, max_slots=50_000)
+                assert result.solved
+                worst = max(worst, result.latency)
+            assert worst <= 64 * scenario_ab_bound(n, k)
+
+    def test_no_transmission_before_wake(self, families_32_k8):
+        protocol = WakeupWithK(32, 8, families=families_32_k8)
+        for station in (1, 16, 32):
+            for wake in (0, 5, 13):
+                slots = protocol.transmit_slots(station, wake, 0, 100)
+                assert slots.size == 0 or slots.min() >= wake
+
+    def test_family_boundaries_absolute_are_odd_slots(self, families_32_k8):
+        protocol = WakeupWithK(32, 8, families=families_32_k8)
+        for slot in protocol.family_boundaries_absolute(up_to=500):
+            assert slot % 2 == 1
+
+    def test_describe(self, families_32_k8):
+        protocol = WakeupWithK(32, 8, families=families_32_k8)
+        assert "wakeup-with-k" in protocol.describe()
+        assert "k=8" in protocol.describe()
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            WakeupWithK(16, 17, rng=0)

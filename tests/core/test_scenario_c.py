@@ -1,0 +1,120 @@
+"""Tests for repro.core.scenario_c (protocol wakeup(n))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.adversary import (
+    simultaneous_pattern,
+    uniform_random_pattern,
+    window_boundary_pattern,
+)
+from repro.channel.simulator import run_deterministic
+from repro.channel.wakeup import WakeupPattern
+from repro.core.lower_bounds import scenario_c_bound
+from repro.core.scenario_c import WakeupProtocol
+from repro.core.waking_matrix import HashedTransmissionMatrix, first_isolation, matrix_parameters
+
+
+class TestGeometry:
+    def test_operational_start_is_window_boundary(self):
+        protocol = WakeupProtocol(64, seed=0)
+        w = protocol.params.window
+        assert protocol.operational_start(0) == 0
+        assert protocol.operational_start(1) == w
+        assert protocol.operational_start(w) == w
+
+    def test_row_at_progression(self):
+        protocol = WakeupProtocol(64, seed=0)
+        params = protocol.params
+        wake = 1
+        mu = params.mu(wake)
+        assert protocol.row_at(wake, wake) is None  # still waiting
+        assert protocol.row_at(wake, mu) == 1
+        assert protocol.row_at(wake, mu + params.row_spans[0]) == 2
+        assert protocol.row_at(wake, mu + params.total_span) is None  # exhausted
+
+    def test_custom_matrix_must_match_n(self):
+        params = matrix_parameters(32)
+        matrix = HashedTransmissionMatrix(params, seed=0)
+        with pytest.raises(ValueError):
+            WakeupProtocol(64, matrix=matrix)
+
+    def test_params_exposed(self):
+        protocol = WakeupProtocol(128, c=3, seed=0)
+        assert protocol.params.c == 3
+        assert protocol.params.n == 128
+
+
+class TestProtocolBehaviour:
+    def test_never_transmits_before_wake_or_during_waiting(self):
+        protocol = WakeupProtocol(32, seed=1)
+        w = protocol.params.window
+        wake = 1
+        for t in range(wake):
+            assert not protocol.transmits(5, wake, t)
+        for t in range(wake, protocol.params.mu(wake)):
+            assert not protocol.transmits(5, wake, t)
+
+    def test_transmit_slots_matches_transmits(self):
+        protocol = WakeupProtocol(16, seed=2)
+        horizon = 300
+        for station in (1, 7, 16):
+            for wake in (0, 3, 11):
+                expected = [t for t in range(horizon) if protocol.transmits(station, wake, t)]
+                got = protocol.transmit_slots(station, wake, 0, horizon).tolist()
+                assert got == expected
+
+    def test_transmit_slots_partial_window(self):
+        protocol = WakeupProtocol(16, seed=2)
+        full = protocol.transmit_slots(3, 0, 0, 400)
+        part = protocol.transmit_slots(3, 0, 100, 300)
+        assert part.tolist() == [t for t in full.tolist() if 100 <= t < 300]
+
+    def test_solves_single_station(self):
+        protocol = WakeupProtocol(64, seed=3)
+        result = run_deterministic(protocol, WakeupPattern(64, {17: 5}))
+        assert result.solved and result.winner == 17
+
+    def test_solves_simultaneous_various_k(self):
+        protocol = WakeupProtocol(64, seed=4)
+        for k in (1, 2, 4, 8, 16, 32, 64):
+            pattern = simultaneous_pattern(64, k, rng=k)
+            result = run_deterministic(protocol, pattern, max_slots=200_000)
+            assert result.solved, k
+
+    def test_solves_window_boundary_adversary(self):
+        protocol = WakeupProtocol(64, seed=5)
+        pattern = window_boundary_pattern(64, 8, window_length=protocol.params.window, rng=0)
+        result = run_deterministic(protocol, pattern, max_slots=200_000)
+        assert result.solved
+
+    def test_latency_within_constant_of_bound(self):
+        n = 64
+        protocol = WakeupProtocol(n, seed=6)
+        for k in (2, 8, 32):
+            worst = 0
+            for seed in range(3):
+                pattern = uniform_random_pattern(n, k, window=4 * k, rng=seed)
+                result = run_deterministic(protocol, pattern, max_slots=500_000)
+                assert result.solved
+                worst = max(worst, result.latency)
+            assert worst <= 32 * scenario_c_bound(n, k)
+
+    def test_agreement_with_matrix_level_isolation(self):
+        protocol = WakeupProtocol(32, seed=7)
+        pattern = WakeupPattern(32, {3: 0, 9: 2, 25: 6})
+        run = run_deterministic(protocol, pattern, max_slots=100_000)
+        iso = first_isolation(protocol.matrix, pattern, max_slots=100_000)
+        assert run.solved and iso is not None
+        assert (run.success_slot, run.winner) == iso
+
+    def test_window_override_changes_parameters(self):
+        default = WakeupProtocol(64, seed=0)
+        wide = WakeupProtocol(64, window=8, seed=0)
+        assert wide.params.window == 8
+        assert wide.params.window != default.params.window or default.params.window == 8
+
+    def test_describe(self):
+        assert "wakeup-scenario-c" in WakeupProtocol(16, seed=0).describe()

@@ -1,0 +1,174 @@
+"""Tests for repro.core.schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.combinatorics.selectors import SetFamily, singleton_family
+from repro.core.round_robin import RoundRobin
+from repro.core.schedules import (
+    CyclicFamilySchedule,
+    FamilySchedule,
+    InterleavedProtocol,
+    SilentProtocol,
+    virtual_wake_time,
+)
+
+
+class TestVirtualWakeTime:
+    def test_awake_before_component_start(self):
+        assert virtual_wake_time(0, component=0, arity=2) == 0
+        assert virtual_wake_time(0, component=1, arity=2) == 0
+
+    def test_basic_mapping(self):
+        # Component 1 of arity 2 owns absolute slots 1, 3, 5, ...
+        assert virtual_wake_time(2, component=1, arity=2) == 1  # slot 3 is the first owned >= 2
+        assert virtual_wake_time(3, component=1, arity=2) == 1
+        assert virtual_wake_time(4, component=1, arity=2) == 2
+
+    def test_component_zero(self):
+        # Component 0 of arity 2 owns absolute slots 0, 2, 4, ...
+        assert virtual_wake_time(5, component=0, arity=2) == 3  # slot 6
+        assert virtual_wake_time(6, component=0, arity=2) == 3
+
+    def test_invariant_first_owned_slot_not_before_wake(self):
+        for arity in (2, 3):
+            for component in range(arity):
+                for wake in range(20):
+                    v = virtual_wake_time(wake, component, arity)
+                    assert component + v * arity >= wake
+                    # and v is minimal
+                    if v > 0:
+                        assert component + (v - 1) * arity < wake
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            virtual_wake_time(0, component=0, arity=0)
+        with pytest.raises(ValueError):
+            virtual_wake_time(0, component=2, arity=2)
+
+
+class TestSilentProtocol:
+    def test_never_transmits(self):
+        silent = SilentProtocol(8)
+        assert not any(silent.transmits(1, 0, t) for t in range(100))
+        assert silent.transmit_slots(1, 0, 0, 100).size == 0
+
+
+class TestFamilySchedule:
+    def _family(self):
+        return SetFamily(
+            6, (frozenset({1, 2}), frozenset({3}), frozenset({1}), frozenset({5, 6}))
+        )
+
+    def test_transmits_inside_span(self):
+        sched = FamilySchedule(self._family(), origin=10)
+        assert sched.transmits(1, 0, 10)
+        assert not sched.transmits(3, 0, 10)
+        assert sched.transmits(3, 0, 11)
+        assert sched.transmits(1, 0, 12)
+        assert not sched.transmits(1, 0, 13)
+
+    def test_silent_outside_span(self):
+        sched = FamilySchedule(self._family(), origin=10)
+        assert not sched.transmits(1, 0, 9)
+        assert not sched.transmits(1, 0, 14)
+
+    def test_respects_wake_time(self):
+        sched = FamilySchedule(self._family(), origin=0)
+        assert not sched.transmits(1, 1, 0)
+        assert sched.transmits(1, 1, 2)
+
+    def test_transmit_slots_matches_transmits(self):
+        sched = FamilySchedule(self._family(), origin=5)
+        for station in range(1, 7):
+            for wake in (0, 6, 8):
+                expected = [
+                    t for t in range(0, 20) if sched.transmits(station, wake, t)
+                ]
+                got = sched.transmit_slots(station, wake, 0, 20).tolist()
+                assert got == expected, (station, wake)
+
+    def test_station_absent_from_family(self):
+        sched = FamilySchedule(SetFamily(6, (frozenset({1}),)), origin=0)
+        assert sched.transmit_slots(4, 0, 0, 10).size == 0
+
+    def test_negative_origin_rejected(self):
+        with pytest.raises(ValueError):
+            FamilySchedule(self._family(), origin=-1)
+
+
+class TestCyclicFamilySchedule:
+    def test_wraps_modulo_period(self):
+        fam = SetFamily(4, (frozenset({1}), frozenset({2}), frozenset({3})))
+        sched = CyclicFamilySchedule(fam)
+        assert sched.transmits(1, 0, 0)
+        assert sched.transmits(1, 0, 3)
+        assert sched.transmits(2, 0, 4)
+        assert sched.transmits(3, 0, 5)
+        assert not sched.transmits(1, 0, 4)
+
+    def test_anchored_at_global_clock_not_wake(self):
+        fam = SetFamily(4, (frozenset({1}), frozenset({2})))
+        sched = CyclicFamilySchedule(fam)
+        # Station 1 waking at slot 1 misses its column and must wait a full period.
+        assert not sched.transmits(1, 1, 1)
+        assert sched.transmits(1, 1, 2)
+
+    def test_transmit_slots_matches_transmits(self):
+        fam = SetFamily(5, (frozenset({1, 4}), frozenset({2}), frozenset({4})))
+        sched = CyclicFamilySchedule(fam)
+        for station in range(1, 6):
+            for wake in (0, 2, 7):
+                expected = [t for t in range(0, 25) if sched.transmits(station, wake, t)]
+                got = sched.transmit_slots(station, wake, 0, 25).tolist()
+                assert got == expected
+
+    def test_partial_window_query(self):
+        fam = SetFamily(3, (frozenset({1}), frozenset({2}), frozenset({3})))
+        sched = CyclicFamilySchedule(fam)
+        assert sched.transmit_slots(1, 0, 4, 10).tolist() == [6, 9]
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ValueError):
+            CyclicFamilySchedule(SetFamily(3, ()))
+
+
+class TestInterleavedProtocol:
+    def test_two_way_interleave_slot_ownership(self):
+        rr = RoundRobin(4)
+        silent = SilentProtocol(4)
+        inter = InterleavedProtocol([rr, silent])
+        # Even absolute slots belong to round-robin at virtual time t//2.
+        assert inter.transmits(1, 0, 0)       # virtual slot 0 -> station 1's turn
+        assert not inter.transmits(1, 0, 1)   # odd slots are silent component
+        assert inter.transmits(2, 0, 2)       # virtual slot 1 -> station 2's turn
+        assert inter.transmits(3, 0, 4)
+
+    def test_never_transmits_before_wake(self):
+        inter = InterleavedProtocol([RoundRobin(4), RoundRobin(4)])
+        for wake in range(6):
+            for slot in range(wake):
+                assert not inter.transmits(1, wake, slot)
+
+    def test_transmit_slots_matches_transmits(self):
+        inter = InterleavedProtocol([RoundRobin(5), SilentProtocol(5), RoundRobin(5)])
+        for station in (1, 3, 5):
+            for wake in (0, 4, 11):
+                expected = [t for t in range(0, 40) if inter.transmits(station, wake, t)]
+                got = inter.transmit_slots(station, wake, 0, 40).tolist()
+                assert got == expected
+
+    def test_mismatched_universes_rejected(self):
+        with pytest.raises(ValueError):
+            InterleavedProtocol([RoundRobin(4), RoundRobin(5)])
+
+    def test_empty_component_list_rejected(self):
+        with pytest.raises(ValueError):
+            InterleavedProtocol([])
+
+    def test_describe_lists_components(self):
+        inter = InterleavedProtocol([RoundRobin(4), SilentProtocol(4)])
+        text = inter.describe()
+        assert "round-robin" in text and "silent" in text

@@ -1,0 +1,258 @@
+"""Tests for repro.core.waking_matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.wakeup import WakeupPattern
+from repro.core.waking_matrix import (
+    ExplicitTransmissionMatrix,
+    HashedTransmissionMatrix,
+    MatrixParameters,
+    first_isolation,
+    is_well_balanced_slot,
+    isolated_station_at,
+    matrix_parameters,
+    operational_sets,
+)
+
+
+class TestMatrixParameters:
+    def test_row_and_window_counts(self):
+        params = matrix_parameters(1024)
+        assert params.rows == 10
+        assert params.window == 4  # ceil(log2(10))
+        assert params.length == 2 * 2 * 1024 * 10 * 4
+
+    def test_small_universe(self):
+        params = matrix_parameters(2)
+        assert params.rows == 1
+        assert params.window == 1
+        assert params.length == 2 * 2 * 2 * 1 * 1
+
+    def test_row_spans_double(self):
+        params = matrix_parameters(256, c=3)
+        spans = params.row_spans
+        assert len(spans) == params.rows
+        for a, b in zip(spans, spans[1:]):
+            assert b == 2 * a
+        assert spans[0] == 3 * 2 * params.rows * params.window
+
+    def test_custom_window_override(self):
+        params = matrix_parameters(256, window=7)
+        assert params.window == 7
+
+    def test_rho_and_mu(self):
+        params = matrix_parameters(256)
+        w = params.window
+        assert params.rho(0) == 0
+        assert params.rho(w + 1) == 1
+        assert params.mu(0) == 0
+        assert params.mu(1) == w
+        assert params.mu(w) == w
+        assert params.mu(w + 1) == 2 * w
+
+    def test_mu_validation(self):
+        with pytest.raises(ValueError):
+            matrix_parameters(16).mu(-1)
+
+    def test_row_at_offset(self):
+        params = matrix_parameters(64)
+        assert params.row_at_offset(0) == 1
+        assert params.row_at_offset(params.row_spans[0] - 1) == 1
+        assert params.row_at_offset(params.row_spans[0]) == 2
+        assert params.row_at_offset(params.total_span) is None
+        assert params.row_at_offset(-1) is None
+
+    def test_row_start_offset(self):
+        params = matrix_parameters(64)
+        assert params.row_start_offset(1) == 0
+        assert params.row_start_offset(2) == params.row_spans[0]
+        with pytest.raises(ValueError):
+            params.row_start_offset(0)
+
+    def test_membership_probability(self):
+        params = matrix_parameters(64)
+        assert params.membership_probability(1, 0) == 0.5
+        assert params.membership_probability(2, 0) == 0.25
+        j = 1  # rho = 1 as long as window > 1
+        if params.window > 1:
+            assert params.membership_probability(1, j) == 0.25
+
+    def test_window_of(self):
+        params = matrix_parameters(64)
+        w = params.window
+        assert params.window_of(0) == 0
+        assert params.window_of(w) == 1
+        assert params.window_of(3 * w + 1) == 3
+
+
+class TestHashedTransmissionMatrix:
+    def test_determinism_given_seed(self):
+        params = matrix_parameters(32)
+        a = HashedTransmissionMatrix(params, seed=9)
+        b = HashedTransmissionMatrix(params, seed=9)
+        cols = np.arange(100)
+        for row in (1, 2, 3):
+            assert np.array_equal(
+                a.membership_for_station(5, row, cols), b.membership_for_station(5, row, cols)
+            )
+
+    def test_different_seeds_differ(self):
+        params = matrix_parameters(32)
+        a = HashedTransmissionMatrix(params, seed=1)
+        b = HashedTransmissionMatrix(params, seed=2)
+        cols = np.arange(500)
+        assert not np.array_equal(
+            a.membership_for_station(5, 1, cols), b.membership_for_station(5, 1, cols)
+        )
+
+    def test_contains_matches_vectorized(self):
+        params = matrix_parameters(32)
+        matrix = HashedTransmissionMatrix(params, seed=3)
+        cols = np.arange(50)
+        for station in (1, 17, 32):
+            for row in (1, 3, params.rows):
+                vec = matrix.membership_for_station(station, row, cols)
+                scalar = [matrix.contains(row, int(j), station) for j in cols]
+                assert vec.tolist() == scalar
+
+    def test_membership_frequency_tracks_probability(self):
+        params = matrix_parameters(64)
+        matrix = HashedTransmissionMatrix(params, seed=4)
+        # Row 1, rho = 0 columns: probability 1/2.
+        cols = np.arange(0, params.length, params.window, dtype=np.int64)[:2000]
+        hits = sum(
+            int(matrix.membership_for_station(u, 1, cols).sum()) for u in range(1, 65)
+        )
+        total = 64 * cols.size
+        assert abs(hits / total - 0.5) < 0.05
+
+    def test_higher_rows_are_sparser(self):
+        params = matrix_parameters(64)
+        matrix = HashedTransmissionMatrix(params, seed=5)
+        cols = np.arange(0, 4000, dtype=np.int64)
+        dens = []
+        for row in (1, 3, 5):
+            hits = sum(
+                int(matrix.membership_for_station(u, row, cols).sum()) for u in range(1, 65)
+            )
+            dens.append(hits)
+        assert dens[0] > dens[1] > dens[2]
+
+    def test_row_and_station_validation(self):
+        params = matrix_parameters(16)
+        matrix = HashedTransmissionMatrix(params, seed=0)
+        with pytest.raises(ValueError):
+            matrix.membership_for_station(1, 0, np.arange(3))
+        with pytest.raises(ValueError):
+            matrix.membership_for_station(0, 1, np.arange(3))
+        with pytest.raises(ValueError):
+            matrix.membership_for_station(17, 1, np.arange(3))
+
+    def test_columns_wrap_modulo_length(self):
+        params = matrix_parameters(16)
+        matrix = HashedTransmissionMatrix(params, seed=0)
+        j = 7
+        assert matrix.contains(1, j, 3) == matrix.contains(1, j + params.length, 3)
+
+    def test_column_set_consistency(self):
+        params = matrix_parameters(16)
+        matrix = HashedTransmissionMatrix(params, seed=0)
+        column = 5
+        members = matrix.column_set(1, column)
+        for u in range(1, 17):
+            assert (u in members) == matrix.contains(1, column, u)
+
+    def test_describe(self):
+        params = matrix_parameters(16)
+        assert "rows=" in HashedTransmissionMatrix(params, seed=0).describe()
+
+
+class TestExplicitTransmissionMatrix:
+    def _params(self):
+        return matrix_parameters(8, c=1)
+
+    def test_entries_and_defaults(self):
+        params = self._params()
+        matrix = ExplicitTransmissionMatrix(params, {(1, 0): {1, 2}, (2, 3): {5}})
+        assert matrix.contains(1, 0, 1)
+        assert matrix.contains(1, 0, 2)
+        assert not matrix.contains(1, 0, 3)
+        assert matrix.contains(2, 3, 5)
+        assert not matrix.contains(1, 1, 1)  # missing entry is empty
+        assert matrix.column_set(2, 3) == frozenset({5})
+
+    def test_validation(self):
+        params = self._params()
+        with pytest.raises(ValueError):
+            ExplicitTransmissionMatrix(params, {(0, 0): {1}})
+        with pytest.raises(ValueError):
+            ExplicitTransmissionMatrix(params, {(1, params.length): {1}})
+        with pytest.raises(ValueError):
+            ExplicitTransmissionMatrix(params, {(1, 0): {99}})
+
+    def test_sampled_matrix_has_plausible_densities(self):
+        params = matrix_parameters(8, c=1)
+        matrix = ExplicitTransmissionMatrix.sample(params, rng=0)
+        # Row 1 should have noticeably more members than the last row.
+        row1 = sum(len(matrix.column_set(1, j)) for j in range(params.length))
+        rowL = sum(len(matrix.column_set(params.rows, j)) for j in range(params.length))
+        assert row1 > rowL
+
+
+class TestSection52Analysis:
+    def test_operational_sets_partition(self):
+        params = matrix_parameters(32)
+        pattern = WakeupPattern(32, {1: 0, 5: 0, 9: params.window * 3 + 1})
+        slot = params.row_spans[0] + params.window + 2
+        sets = operational_sets(params, pattern, slot)
+        all_stations = [u for s in sets.values() for u in s]
+        assert len(all_stations) == len(set(all_stations))  # disjoint rows
+        # Stations 1 and 5 (woken at 0) share a row; station 9 may be on an earlier row.
+        rows_of = {u: i for i, s in sets.items() for u in s}
+        assert rows_of[1] == rows_of[5]
+        if 9 in rows_of:
+            assert rows_of[9] <= rows_of[1]
+
+    def test_operational_sets_exclude_waiting_stations(self):
+        params = matrix_parameters(32)
+        if params.window < 2:
+            pytest.skip("needs window >= 2")
+        pattern = WakeupPattern(32, {3: 1})
+        # At slot 1 the station is waiting for mu(1) = window.
+        assert operational_sets(params, pattern, 1) == {}
+        assert 3 in operational_sets(params, pattern, params.window).get(1, frozenset())
+
+    def test_is_well_balanced_slot_small_case(self):
+        params = matrix_parameters(32)
+        pattern = WakeupPattern(32, {u: 0 for u in range(1, 5)})
+        # With 4 stations all on row 1, S1 holds (4/2 <= rows) and S2 holds (4 >= 2^{-2}).
+        assert is_well_balanced_slot(params, pattern, params.mu(0))
+
+    def test_no_awake_stations_is_not_well_balanced(self):
+        params = matrix_parameters(32)
+        pattern = WakeupPattern(32, {1: 50})
+        assert not is_well_balanced_slot(params, pattern, 0)
+
+    def test_isolated_station_matches_manual_computation(self):
+        params = matrix_parameters(8, c=1)
+        # One station alone: it is isolated at the first slot where it belongs to
+        # the current column of row 1 (and not otherwise).
+        matrix = HashedTransmissionMatrix(params, seed=1)
+        pattern = WakeupPattern(8, {4: 0})
+        iso = first_isolation(matrix, pattern, max_slots=5_000)
+        assert iso is not None
+        slot, station = iso
+        assert station == 4
+        assert matrix.contains(1, slot % params.length, 4)
+        for earlier in range(slot):
+            assert isolated_station_at(matrix, pattern, earlier) is None
+
+    def test_first_isolation_none_when_impossible(self):
+        params = matrix_parameters(4, c=1)
+        # An explicitly empty matrix never isolates anybody.
+        matrix = ExplicitTransmissionMatrix(params, {})
+        pattern = WakeupPattern(4, {1: 0, 2: 0})
+        assert first_isolation(matrix, pattern, max_slots=200) is None

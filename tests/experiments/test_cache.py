@@ -1,0 +1,50 @@
+"""Tests for repro.experiments.cache.FamilyCache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._util import ceil_log2
+from repro.experiments.cache import FamilyCache
+
+
+class TestFamilyCache:
+    def test_prefix_property(self):
+        cache = FamilyCache()
+        long = cache.concatenation(32, 32, seed=1)
+        short = cache.concatenation(32, 4, seed=1)
+        assert len(short) == ceil_log2(4)
+        for a, b in zip(short, long):
+            assert a.family.sets == b.family.sets
+
+    def test_extension_rebuild_is_consistent(self):
+        cache = FamilyCache()
+        short_first = cache.concatenation(32, 4, seed=1)
+        long_after = cache.concatenation(32, 32, seed=1)
+        # The prefix of the longer sequence equals the earlier short sequence.
+        for a, b in zip(short_first, long_after):
+            assert a.family.sets == b.family.sets
+
+    def test_caching_returns_same_objects(self):
+        cache = FamilyCache()
+        a = cache.concatenation(16, 16, seed=0)
+        b = cache.concatenation(16, 16, seed=0)
+        assert all(x is y for x, y in zip(a, b))
+
+    def test_different_seeds_are_distinct_entries(self):
+        cache = FamilyCache()
+        a = cache.concatenation(16, 4, seed=0)
+        b = cache.concatenation(16, 4, seed=1)
+        assert any(x.family.sets != y.family.sets for x, y in zip(a, b))
+        assert len(cache) == 2
+
+    def test_clear(self):
+        cache = FamilyCache()
+        cache.concatenation(16, 4, seed=0)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_max_k_capped_at_n(self):
+        cache = FamilyCache()
+        fams = cache.concatenation(8, 64, seed=0)
+        assert len(fams) == ceil_log2(8)

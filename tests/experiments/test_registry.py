@@ -1,0 +1,107 @@
+"""Tests for repro.experiments.registry (run at a tiny scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cache import FamilyCache
+from repro.experiments.config import ExperimentScale
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.runner import ExperimentResult
+
+#: A deliberately tiny scale so the whole registry runs in seconds.
+TINY = ExperimentScale(
+    name="tiny",
+    n_values=(32,),
+    k_fractions=(0.5,),
+    seeds=1,
+    patterns_per_seed=1,
+    max_slots=100_000,
+    adversary_trials=2,
+)
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return FamilyCache()
+
+
+class TestRegistry:
+    def test_registry_lists_all_experiments(self):
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 12)}
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99", TINY)
+
+    def test_lookup_is_case_insensitive(self, cache):
+        result = run_experiment("e8", TINY)
+        assert result.experiment == "E8"
+
+
+class TestScenarioExperiments:
+    def test_e1_certificates_hold(self, cache):
+        result = run_experiment("E1", TINY, cache=cache)
+        assert isinstance(result, ExperimentResult)
+        assert result.rows
+        assert result.all_certificates_hold
+        assert "scenario_a_latency" in result.tables
+
+    def test_e2_certificates_hold(self, cache):
+        result = run_experiment("E2", TINY, cache=cache)
+        assert result.all_certificates_hold
+        assert any(row["protocol"] == "wakeup_with_k" for row in result.rows)
+
+    def test_e3_certificates_hold(self):
+        result = run_experiment("E3", TINY)
+        assert result.all_certificates_hold
+        assert all(row["latency"] <= 32 * row["bound"] for row in result.rows)
+
+    def test_e4_lower_bound(self, cache):
+        result = run_experiment("E4", TINY, cache=cache)
+        assert result.all_certificates_hold
+        assert any(r.get("protocol") == "round_robin_exact_adversary" for r in result.rows)
+
+    def test_e5_gap(self, cache):
+        result = run_experiment("E5", TINY, cache=cache)
+        assert result.rows
+        for row in result.rows:
+            assert row["latency_c"] > 0
+
+    def test_e6_randomized(self):
+        result = run_experiment("E6", TINY)
+        assert result.all_certificates_hold
+
+    def test_e7_matrix_structure(self):
+        result = run_experiment("E7", TINY)
+        assert "figure1_row_traversal" in result.figures
+        assert "figure2_column_alignment" in result.figures
+        agreement_rows = [r for r in result.rows if "agreement" in r]
+        assert agreement_rows and agreement_rows[0]["agreement"]
+
+    def test_e8_selective_families(self):
+        result = run_experiment("E8", TINY)
+        for row in result.rows:
+            assert row["random_selectivity"] >= 0.95
+
+    def test_e9_baselines(self, cache):
+        result = run_experiment("E9", TINY, cache=cache)
+        protocols = {row["protocol"] for row in result.rows}
+        assert {"wakeup_with_k", "tdma", "rpd"} <= protocols
+        deterministic = [
+            r for r in result.rows if r["protocol"] in ("wakeup_with_k", "tdma", "komlos_greenberg")
+        ]
+        assert all(r["solved"] for r in deterministic)
+
+    def test_e10_ablations(self, cache):
+        result = run_experiment("E10", TINY, cache=cache)
+        ablations = {row["ablation"] for row in result.rows}
+        assert ablations == {"window_length", "constant_c", "waiting_rule", "interleaving"}
+
+    def test_e11_global_vs_local_clock(self, cache):
+        result = run_experiment("E11", TINY, cache=cache)
+        assert result.rows
+        # The global-clock variants must never be worse than the horizon sentinel.
+        for row in result.rows:
+            assert row["wait_and_go_global"] < TINY.max_slots
+            assert row["scenario_c_global"] < TINY.max_slots

@@ -1,0 +1,85 @@
+"""Property-based tests on the simulation engine itself.
+
+The central property: for any wake-up pattern and any protocol, the vectorized
+chunked scan of :func:`repro.channel.simulator.run_deterministic` finds exactly
+the same first-success slot and winner as a straightforward slot-by-slot
+evaluation of the protocol (the definition of the channel model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.simulator import run_deterministic
+from repro.channel.wakeup import WakeupPattern
+from repro.core.round_robin import RoundRobin
+from repro.core.scenario_b import WakeupWithK
+from repro.core.scenario_c import WakeupProtocol
+from repro.core.selective import concatenated_families
+
+N = 16
+_FAMILIES_K4 = concatenated_families(N, 4, rng=3)
+
+PROTOCOL_FACTORIES = {
+    "round_robin": lambda: RoundRobin(N),
+    "wakeup_with_k": lambda: WakeupWithK(N, 4, families=_FAMILIES_K4),
+    "scenario_c": lambda: WakeupProtocol(N, seed=11),
+}
+
+
+def _naive_first_success(protocol, pattern, horizon):
+    for slot in range(pattern.first_wake, pattern.first_wake + horizon):
+        transmitters = [
+            u
+            for u, w in pattern.wake_times.items()
+            if w <= slot and protocol.transmits(u, w, slot)
+        ]
+        if len(transmitters) == 1:
+            return slot, transmitters[0]
+    return None, None
+
+
+wake_dicts = st.dictionaries(
+    keys=st.integers(min_value=1, max_value=N),
+    values=st.integers(min_value=0, max_value=30),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestSimulatorAgreesWithDefinition:
+    @given(wakes=wake_dicts, name=st.sampled_from(sorted(PROTOCOL_FACTORIES)))
+    @settings(max_examples=40, deadline=None)
+    def test_first_success_matches_naive_evaluation(self, wakes, name):
+        protocol = PROTOCOL_FACTORIES[name]()
+        pattern = WakeupPattern(N, wakes)
+        horizon = 3000
+        expected_slot, expected_winner = _naive_first_success(protocol, pattern, horizon)
+        result = run_deterministic(protocol, pattern, max_slots=horizon, chunk=7)
+        if expected_slot is None:
+            assert not result.solved
+        else:
+            assert result.solved
+            assert result.success_slot == expected_slot
+            assert result.winner == expected_winner
+
+    @given(wakes=wake_dicts)
+    @settings(max_examples=30, deadline=None)
+    def test_latency_independent_of_chunk_size(self, wakes):
+        pattern = WakeupPattern(N, wakes)
+        protocol = RoundRobin(N)
+        results = [
+            run_deterministic(protocol, pattern, chunk=chunk, max_slots=1000)
+            for chunk in (1, 3, 16, 1024)
+        ]
+        slots = {r.success_slot for r in results}
+        assert len(slots) == 1
+
+    @given(wakes=wake_dicts, shift=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_round_robin_latency_bounded_by_n(self, wakes, shift):
+        pattern = WakeupPattern(N, wakes).shifted(shift)
+        result = run_deterministic(RoundRobin(N), pattern, max_slots=10 * N)
+        assert result.solved
+        assert result.latency <= N

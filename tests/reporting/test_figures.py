@@ -1,0 +1,74 @@
+"""Tests for repro.reporting.figures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.simulator import run_deterministic
+from repro.channel.wakeup import WakeupPattern
+from repro.core.round_robin import RoundRobin
+from repro.core.waking_matrix import matrix_parameters
+from repro.reporting.figures import ascii_line_plot, render_matrix_occupancy, render_trace
+
+
+class TestAsciiLinePlot:
+    def test_contains_markers_and_legend(self):
+        plot = ascii_line_plot([1, 2, 3], {"a": [1, 2, 3], "b": [3, 2, 1]}, title="T")
+        assert "T" in plot
+        assert "legend:" in plot
+        assert "*" in plot and "o" in plot
+
+    def test_log_scale(self):
+        plot = ascii_line_plot([1, 2, 3], {"a": [1, 10, 100]}, logy=True)
+        assert "y_max" in plot
+
+    def test_log_scale_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ascii_line_plot([1, 2], {"a": [0, 1]}, logy=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_line_plot([], {"a": []})
+        with pytest.raises(ValueError):
+            ascii_line_plot([1, 2], {})
+        with pytest.raises(ValueError):
+            ascii_line_plot([1, 2], {"a": [1, 2, 3]})
+
+    def test_constant_series_does_not_crash(self):
+        plot = ascii_line_plot([1, 1, 1], {"a": [5, 5, 5]})
+        assert "y_min" in plot
+
+
+class TestRenderMatrixOccupancy:
+    def test_renders_rows_for_each_station(self):
+        params = matrix_parameters(16)
+        figure = render_matrix_occupancy(params, {3: 0, 7: params.window + 1}, columns=60)
+        assert "station    3" in figure
+        assert "station    7" in figure
+        assert "#" in figure
+
+    def test_empty_wake_times_rejected(self):
+        with pytest.raises(ValueError):
+            render_matrix_occupancy(matrix_parameters(16), {})
+
+
+class TestRenderTrace:
+    def test_timeline_marks_success(self):
+        pattern = WakeupPattern(8, {2: 0, 6: 0})
+        result = run_deterministic(RoundRobin(8), pattern, record_trace=True)
+        figure = render_trace(result.trace)
+        assert "station    2" in figure
+        assert "!" in figure  # success marker
+        assert "channel" in figure
+
+    def test_extra_stations_parameter(self):
+        pattern = WakeupPattern(8, {2: 0})
+        result = run_deterministic(RoundRobin(8), pattern, record_trace=True)
+        figure = render_trace(result.trace, stations=[5])
+        assert "station    5" in figure
+
+    def test_empty_trace_rejected(self):
+        from repro.channel.trace import ExecutionTrace
+
+        with pytest.raises(ValueError):
+            render_trace(ExecutionTrace())
