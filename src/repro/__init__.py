@@ -74,6 +74,7 @@ from repro.core import (
     scenario_c_bound,
     trivial_lower_bound,
 )
+from repro.engine import BatchResult, Campaign, run_deterministic_batch
 from repro.experiments import (
     EXPERIMENTS,
     QUICK,
@@ -82,6 +83,7 @@ from repro.experiments import (
     generate_experiments_report,
     run_experiment,
 )
+from repro.workloads import WORKLOADS, WorkloadSuite, register_workload
 
 __version__ = "1.0.0"
 
@@ -126,6 +128,14 @@ __all__ = [
     "scenario_ab_bound",
     "scenario_c_bound",
     "trivial_lower_bound",
+    # batch engine
+    "BatchResult",
+    "Campaign",
+    "run_deterministic_batch",
+    # workload suite
+    "WORKLOADS",
+    "WorkloadSuite",
+    "register_workload",
     # experiments
     "EXPERIMENTS",
     "QUICK",

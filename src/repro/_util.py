@@ -9,6 +9,21 @@ This module collects small helpers used throughout the library:
   the library takes a seed or an ``numpy.random.Generator`` so results are
   reproducible bit-for-bit).
 
+Seed-derivation convention
+--------------------------
+
+Whenever one seed has to fan out into several independent streams — batch
+shards in :mod:`repro.engine`, per-pattern draws in :mod:`repro.workloads`,
+worker processes in a :class:`~repro.engine.Campaign` — child generators MUST
+be derived with :meth:`numpy.random.SeedSequence.spawn` (wrapped here as
+:func:`spawn_generators` / :func:`derived_generator`), never with ad-hoc
+integer offsets such as ``seed + i``.  Offset seeds produce correlated
+streams (neighbouring seeds of the same bit-generator share state-setup
+structure) and collide across call sites (two loops both using ``seed + i``
+reuse each other's streams); ``SeedSequence`` hashes the parent entropy with
+the spawn key, which guarantees independence and gives every derivation site
+its own namespace.
+
 Nothing in here is part of the public API; the public surface re-exports only
 what is documented in :mod:`repro`.
 """
@@ -23,6 +38,10 @@ import numpy as np
 __all__ = [
     "RngLike",
     "as_generator",
+    "spawn_generators",
+    "derived_generator",
+    "stable_key",
+    "ragged_arange",
     "ceil_log2",
     "floor_log2",
     "ceil_div",
@@ -52,6 +71,68 @@ def as_generator(rng: RngLike) -> np.random.Generator:
     if isinstance(rng, np.random.Generator):
         return rng
     return np.random.default_rng(rng)
+
+
+def stable_key(name: str) -> int:
+    """Map a string to a stable non-negative integer usable as seed entropy.
+
+    Python's built-in ``hash`` is salted per process, so it cannot be used to
+    derive reproducible seeds from workload names; this uses SHA-256 instead.
+    """
+    import hashlib
+
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def spawn_generators(seed: RngLike, count: int, *keys: Union[int, str]) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from one seed.
+
+    This is the library's only sanctioned way to fan a seed out into multiple
+    streams (see the module docstring): it builds a
+    :class:`numpy.random.SeedSequence` from ``seed`` and the optional
+    namespace ``keys`` (strings are hashed with :func:`stable_key`) and calls
+    :meth:`~numpy.random.SeedSequence.spawn`.  Passing a ``Generator`` draws a
+    fresh 64-bit parent seed from it, so generator-valued seeds stay usable.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    entropy: list[int] = [stable_key(k) if isinstance(k, str) else int(k) for k in keys]
+    if isinstance(seed, np.random.Generator):
+        parent = int(seed.integers(0, 2**63))
+    elif seed is None:
+        # Match as_generator(None): an unseeded spawn draws fresh OS entropy
+        # (namespace keys alone must not make the streams deterministic).
+        parent = np.random.SeedSequence().entropy
+    else:
+        parent = seed
+    sequence = np.random.SeedSequence([int(parent)] + entropy)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+
+
+def derived_generator(seed: RngLike, *keys: Union[int, str]) -> np.random.Generator:
+    """Derive one child generator from ``seed`` namespaced by ``keys``.
+
+    Equivalent to ``spawn_generators(seed, 1, *keys)[0]``; use it when a call
+    site needs a single independent stream (e.g. the pattern draw for shard
+    ``i`` of workload ``"heavy-tailed"``).
+    """
+    return spawn_generators(seed, 1, *keys)[0]
+
+
+def ragged_arange(counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange`` per row: ``[0..c0), [0..c1), ...`` flattened.
+
+    The building block for vectorized ragged expansion: paired with
+    ``np.repeat(values, counts)`` it enumerates, without a Python loop, the
+    ``j``-th element of every variable-length run.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    run_starts = np.repeat(np.cumsum(counts) - counts, counts)
+    return np.arange(total, dtype=np.int64) - run_starts
 
 
 def ceil_log2(x: int) -> int:

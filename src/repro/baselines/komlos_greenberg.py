@@ -82,5 +82,10 @@ class KomlosGreenberg(DeterministicProtocol):
     def transmit_slots(self, station: int, wake_time: int, start: int, stop: int) -> np.ndarray:
         return self._cyclic.transmit_slots(station, wake_time, start, stop)
 
+    def batch_transmit_slots(
+        self, stations: np.ndarray, wakes: np.ndarray, start: int, stop: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return self._cyclic.batch_transmit_slots(stations, wakes, start, stop)
+
     def describe(self) -> str:
         return f"{self.name}(n={self.n}, k={self.k}, period={self.period})"

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro._util import validate_positive_int
 from repro.channel.protocols import DeterministicProtocol
+from repro.core.round_robin import periodic_batch_transmit_slots
 
 __all__ = ["TDMA"]
 
@@ -58,6 +59,11 @@ class TDMA(DeterministicProtocol):
         if first >= hi:
             return np.empty(0, dtype=np.int64)
         return np.arange(first, hi, self.frame, dtype=np.int64)
+
+    def batch_transmit_slots(
+        self, stations: np.ndarray, wakes: np.ndarray, start: int, stop: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return periodic_batch_transmit_slots(stations, wakes, start, stop, self.frame)
 
     def describe(self) -> str:
         return f"{self.name}(n={self.n}, frame={self.frame})"

@@ -38,8 +38,25 @@ class DeterministicProtocol(ABC):
     Subclasses must implement :meth:`transmits`; they *should* override
     :meth:`transmit_slots` with a vectorized implementation when the protocol
     is used at scale (the default implementation calls :meth:`transmits` once
-    per slot, which is correct but slow).
+    per slot, which is correct but slow).  Protocols on the batch engine's hot
+    path additionally override :meth:`batch_transmit_slots`, the multi-station
+    query :mod:`repro.engine` issues once per chunk.
     """
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        # A subclass that overrides the scalar queries but inherits a
+        # vectorized batch_transmit_slots from an intermediate base would
+        # answer batch queries with the *base's* schedule.  Reset such
+        # subclasses to the generic fallback, which routes through their own
+        # transmit_slots and is always consistent.
+        overrides_scalar = "transmits" in cls.__dict__ or "transmit_slots" in cls.__dict__
+        inherits_vectorized = (
+            "batch_transmit_slots" not in cls.__dict__
+            and cls.batch_transmit_slots is not DeterministicProtocol.batch_transmit_slots
+        )
+        if overrides_scalar and inherits_vectorized:
+            cls.batch_transmit_slots = DeterministicProtocol.batch_transmit_slots
 
     def __init__(self, n: int) -> None:
         self.n = validate_positive_int(n, "n")
@@ -69,6 +86,38 @@ class DeterministicProtocol(ABC):
             return np.empty(0, dtype=np.int64)
         slots = [t for t in range(lo, hi) if self.transmits(station, wake_time, t)]
         return np.asarray(slots, dtype=np.int64)
+
+    def batch_transmit_slots(
+        self, stations: np.ndarray, wakes: np.ndarray, start: int, stop: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Transmit slots for many ``(station, wake_time)`` pairs at once.
+
+        The batch engine (:mod:`repro.engine`) resolves B executions in one
+        chunked scan; this is the query it issues per chunk.  ``stations`` and
+        ``wakes`` are aligned int arrays describing the pairs; the window
+        ``[start, stop)`` is shared by all of them.
+
+        Returns two aligned int64 arrays ``(pair_index, slots)``: pair
+        ``pair_index[i]`` transmits at absolute slot ``slots[i]``.  No
+        ordering is guaranteed across pairs; a pair may appear zero or many
+        times.  Each (pair, slot) combination must appear at most once —
+        duplicates would corrupt the engine's transmitter counts.
+
+        The default evaluates :meth:`transmit_slots` pair by pair, which is
+        correct for every protocol; schedule-backed protocols override it with
+        a fully vectorized computation.
+        """
+        idx_pieces = []
+        slot_pieces = []
+        for j in range(len(stations)):
+            slots = self.transmit_slots(int(stations[j]), int(wakes[j]), start, stop)
+            if slots.size:
+                idx_pieces.append(np.full(slots.size, j, dtype=np.int64))
+                slot_pieces.append(slots)
+        if not slot_pieces:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(idx_pieces), np.concatenate(slot_pieces)
 
     def describe(self) -> str:
         """One-line description used in experiment tables."""

@@ -1,6 +1,6 @@
 """Command-line interface for the repro library.
 
-Four subcommands cover the workflows a user needs without writing Python:
+Five subcommands cover the workflows a user needs without writing Python:
 
 ``simulate``
     Build one protocol, one wake-up pattern, run the simulation and print the
@@ -11,12 +11,20 @@ Four subcommands cover the workflows a user needs without writing Python:
     ``n`` — the quick way to see which regime a deployment sits in.
 
 ``experiment``
-    Run one experiment from the E1–E11 registry at a chosen scale and print
-    its summary (tables, figures and certificates).
+    Run one experiment from the E1–E11 registry (see
+    :data:`repro.experiments.registry.EXPERIMENTS`) at a chosen scale and
+    print its summary (tables, figures and certificates).
 
 ``verify-matrix``
     Search for / verify a waking-matrix seed for a given ``n`` (the
     construct–verify–retry loop of :mod:`repro.core.matrix_search`).
+
+``workloads``
+    Browse the workload suite (:mod:`repro.workloads`) and push batches of
+    its patterns through the batch engine (:mod:`repro.engine`):
+    ``list`` the registered scenario generators, ``sample`` a few concrete
+    patterns, or ``run`` a whole batch against a protocol and print latency
+    summary statistics.
 
 Examples
 --------
@@ -26,6 +34,10 @@ Examples
     python -m repro bounds --n 1024
     python -m repro experiment E3 --scale quick
     python -m repro verify-matrix --n 64 --attempts 4
+    python -m repro workloads list
+    python -m repro workloads sample --workload heavy-tailed --n 64 --k 8
+    python -m repro workloads run --workload churn --protocol scenario-b \\
+        --n 256 --k 16 --batch 256 --workers 4
 """
 
 from __future__ import annotations
@@ -44,6 +56,7 @@ from repro.channel.adversary import (
 from repro.channel.simulator import run_deterministic, run_randomized
 from repro.channel.protocols import DeterministicProtocol
 from repro.core.lower_bounds import bound_table
+from repro.engine import Campaign
 from repro.core.local_clock import LocalClockWakeup
 from repro.core.matrix_search import find_waking_matrix_seed
 from repro.core.randomized import RepeatedProbabilityDecrease
@@ -55,6 +68,7 @@ from repro.experiments.config import FULL, QUICK, STANDARD
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.reporting.figures import render_trace
 from repro.reporting.tables import TextTable
+from repro.workloads import WorkloadSuite
 
 __all__ = ["main", "build_parser"]
 
@@ -119,6 +133,26 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--attempts", type=int, default=4)
     verify.add_argument("--budget-factor", type=float, default=16.0)
     verify.add_argument("--seed", type=int, default=0, help="seed of the search itself")
+
+    wl = subparsers.add_parser(
+        "workloads",
+        help="list the workload suite, sample patterns, or run a batch",
+        description="Browse repro.workloads and push batches through the batch "
+        "engine. Examples: `repro workloads list`; `repro workloads sample "
+        "--workload heavy-tailed --n 64 --k 8`; `repro workloads run "
+        "--workload churn --protocol scenario-b --n 256 --k 16 --batch 256`.",
+    )
+    wl.add_argument("action", choices=("list", "sample", "run"))
+    wl.add_argument("--workload", default="uniform", help="workload name (see `workloads list`)")
+    wl.add_argument("--protocol", choices=sorted(PROTOCOLS), default="scenario-b")
+    wl.add_argument("--n", type=int, default=128, help="number of attached stations")
+    wl.add_argument("--k", type=int, default=8, help="contender budget of the workload")
+    wl.add_argument("--batch", type=int, default=256, help="patterns per batch")
+    wl.add_argument("--samples", type=int, default=3, help="patterns printed by `sample`")
+    wl.add_argument("--seed", type=int, default=0, help="base seed (batches are reproducible)")
+    wl.add_argument("--max-slots", type=int, default=1_000_000)
+    wl.add_argument("--shard-size", type=int, default=256, help="patterns per campaign shard")
+    wl.add_argument("--workers", type=int, default=0, help="worker threads (0 = serial)")
     return parser
 
 
@@ -182,6 +216,59 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0 if result.all_certificates_hold else 1
 
 
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    try:
+        return _cmd_workloads_inner(args)
+    except (KeyError, ValueError) as exc:
+        # Unknown workload names and invalid (n, k, ...) combinations are
+        # usage errors, not crashes: print the message, exit like argparse.
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
+def _cmd_workloads_inner(args: argparse.Namespace) -> int:
+    suite = WorkloadSuite()
+    if args.action == "list":
+        table = TextTable(["workload", "description"])
+        for name in suite.names():
+            table.add_row([name, suite.describe(name)])
+        print(table.render())
+        return 0
+    if args.action == "sample":
+        patterns = suite.generate(
+            args.workload, n=args.n, k=args.k, batch=args.samples, seed=args.seed
+        )
+        for index, pattern in enumerate(patterns):
+            print(f"[{index}] {pattern.describe()}")
+            print("    " + ", ".join(f"{u}@{t}" for u, t in pattern))
+        return 0
+    protocol = PROTOCOLS[args.protocol](args)
+    patterns = suite.generate(
+        args.workload, n=args.n, k=args.k, batch=args.batch, seed=args.seed
+    )
+    campaign = Campaign(
+        protocol,
+        max_slots=args.max_slots,
+        shard_size=args.shard_size,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    result = campaign.run(patterns)
+    print(f"protocol: {protocol.describe()}")
+    print(
+        f"workload: {args.workload} (n={args.n}, k={args.k}, batch={args.batch}, "
+        f"seed={args.seed})"
+    )
+    for metric, value in result.summary().items():
+        print(f"  {metric:>14s}: {value:g}")
+    if not bool(result.solved.all()):
+        unsolved = len(result) - result.solved_count
+        print(f"NOT SOLVED on {unsolved} of {len(result)} patterns (horizon {args.max_slots})")
+        return 1
+    return 0
+
+
 def _cmd_verify_matrix(args: argparse.Namespace) -> int:
     try:
         seed, report = find_waking_matrix_seed(
@@ -208,6 +295,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bounds": _cmd_bounds,
         "experiment": _cmd_experiment,
         "verify-matrix": _cmd_verify_matrix,
+        "workloads": _cmd_workloads,
     }
     return handlers[args.command](args)
 

@@ -14,9 +14,30 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._util import ragged_arange
 from repro.channel.protocols import DeterministicProtocol
 
-__all__ = ["RoundRobin"]
+__all__ = ["RoundRobin", "periodic_batch_transmit_slots"]
+
+
+def periodic_batch_transmit_slots(
+    stations: np.ndarray, wakes: np.ndarray, start: int, stop: int, period: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized batch query for "station ``u`` owns slot ``u - 1 mod period``".
+
+    Shared by :class:`RoundRobin` and :class:`~repro.baselines.tdma.TDMA`
+    (whose frame may exceed ``n``); returns the ``(pair_index, slots)`` pair
+    described by
+    :meth:`~repro.channel.protocols.DeterministicProtocol.batch_transmit_slots`.
+    """
+    stations = np.asarray(stations, dtype=np.int64)
+    wakes = np.asarray(wakes, dtype=np.int64)
+    lo = np.maximum(wakes, int(start))
+    first = lo + ((stations - 1 - lo) % period)
+    counts = np.where(first < stop, (int(stop) - 1 - first) // period + 1, 0)
+    pair_index = np.repeat(np.arange(len(stations), dtype=np.int64), counts)
+    slots = np.repeat(first, counts) + ragged_arange(counts) * period
+    return pair_index, slots
 
 
 class RoundRobin(DeterministicProtocol):
@@ -46,6 +67,11 @@ class RoundRobin(DeterministicProtocol):
         if first >= hi:
             return np.empty(0, dtype=np.int64)
         return np.arange(first, hi, self.n, dtype=np.int64)
+
+    def batch_transmit_slots(
+        self, stations: np.ndarray, wakes: np.ndarray, start: int, stop: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return periodic_batch_transmit_slots(stations, wakes, start, stop, self.n)
 
     def turn_of(self, slot: int) -> int:
         """The station whose turn it is at ``slot`` (whether or not it is awake)."""

@@ -108,6 +108,17 @@ class SelectAmongTheFirst(DeterministicProtocol):
             return np.empty(0, dtype=np.int64)
         return self._schedule.transmit_slots(station, wake_time, start, stop)
 
+    def batch_transmit_slots(
+        self, stations: np.ndarray, wakes: np.ndarray, start: int, stop: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        stations = np.asarray(stations, dtype=np.int64)
+        wakes = np.asarray(wakes, dtype=np.int64)
+        participating = np.flatnonzero(wakes <= self.s)
+        pidx, slots = self._schedule.batch_transmit_slots(
+            stations[participating], wakes[participating], start, stop
+        )
+        return participating[pidx], slots
+
     def describe(self) -> str:
         return f"{self.name}(n={self.n}, s={self.s}, length={self.schedule_length})"
 

@@ -143,6 +143,22 @@ class WaitAndGo(DeterministicProtocol):
         sigma = self.activation_slot(wake_time)
         return self._cyclic.transmit_slots(station, sigma, start, stop)
 
+    def activation_slots(self, wake_times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`activation_slot` for an array of wake times."""
+        wake_times = np.asarray(wake_times, dtype=np.int64)
+        z = self.period
+        # Append z so that "wrap to the next period" falls out of searchsorted.
+        boundaries = np.asarray(self._boundaries + (z,), dtype=np.int64)
+        r = wake_times % z
+        idx = np.searchsorted(boundaries, r, side="left")
+        return wake_times + boundaries[idx] - r
+
+    def batch_transmit_slots(
+        self, stations: np.ndarray, wakes: np.ndarray, start: int, stop: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        sigmas = self.activation_slots(np.asarray(wakes, dtype=np.int64))
+        return self._cyclic.batch_transmit_slots(stations, sigmas, start, stop)
+
     def describe(self) -> str:
         return f"{self.name}(n={self.n}, k={self.k}, period={self.period})"
 

@@ -27,7 +27,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro._util import ceil_div, validate_positive_int
+from repro._util import ceil_div, ragged_arange, validate_positive_int
 from repro.channel.protocols import DeterministicProtocol
 from repro.combinatorics.selectors import SetFamily
 
@@ -67,6 +67,34 @@ class SilentProtocol(DeterministicProtocol):
     def transmit_slots(self, station: int, wake_time: int, start: int, stop: int) -> np.ndarray:
         return np.empty(0, dtype=np.int64)
 
+    def batch_transmit_slots(
+        self, stations: np.ndarray, wakes: np.ndarray, start: int, stop: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+
+
+def _build_offset_csr(offsets: dict, n: int, stride: int) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten per-station offset arrays into sorted form for batched lookups.
+
+    Returns ``(flat, keys)``: ``flat`` concatenates every station's ascending
+    offsets in station order, and ``keys[i] = station_of(i) * stride +
+    flat[i]`` is globally ascending when ``stride`` exceeds every offset, so a
+    single :func:`numpy.searchsorted` against ``keys`` answers "how many
+    offsets of station ``u`` lie in ``[a, b)``" for many stations at once —
+    the backbone of the batch queries below.
+    """
+    ptr = np.zeros(n + 1, dtype=np.int64)
+    for u, idxs in offsets.items():
+        ptr[u] = len(idxs)
+    np.cumsum(ptr, out=ptr)
+    flat = np.empty(int(ptr[-1]), dtype=np.int64)
+    for u, idxs in offsets.items():
+        flat[ptr[u] - len(idxs) : ptr[u]] = idxs
+    station_of = np.repeat(np.arange(n + 1, dtype=np.int64), np.diff(ptr, prepend=0))
+    keys = station_of * int(stride) + flat
+    return flat, keys
+
 
 class FamilySchedule(DeterministicProtocol):
     """Run a :class:`~repro.combinatorics.selectors.SetFamily` from a fixed origin.
@@ -94,6 +122,9 @@ class FamilySchedule(DeterministicProtocol):
         self.origin = int(origin)
         # Precompute per-station slot offsets for the vectorized path.
         self._station_offsets = self._build_offsets(family)
+        self._csr_flat, self._csr_keys = _build_offset_csr(
+            self._station_offsets, family.n, family.length
+        )
 
     @staticmethod
     def _build_offsets(family: SetFamily) -> dict:
@@ -123,6 +154,26 @@ class FamilySchedule(DeterministicProtocol):
         mask = (slots >= lo) & (slots < int(stop))
         return slots[mask]
 
+    def batch_transmit_slots(
+        self, stations: np.ndarray, wakes: np.ndarray, start: int, stop: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        stations = np.asarray(stations, dtype=np.int64)
+        wakes = np.asarray(wakes, dtype=np.int64)
+        L = self.family.length
+        # Per-pair offset window [lo_rel, hi_rel) inside the family's span;
+        # pairs waking at or past the window end get an empty range.
+        hi_rel = max(0, min(int(stop) - self.origin, L))
+        lo_rel = np.clip(np.maximum(wakes, int(start)) - self.origin, 0, hi_rel)
+        # Two searchsorted calls against the composed keys count, per pair,
+        # the offsets of its station falling inside its window — exact output
+        # size, no over-enumeration.
+        left = np.searchsorted(self._csr_keys, stations * L + lo_rel, side="left")
+        right = np.searchsorted(self._csr_keys, stations * L + hi_rel, side="left")
+        counts = right - left
+        pair_index = np.repeat(np.arange(len(stations), dtype=np.int64), counts)
+        flat_pos = np.repeat(left, counts) + ragged_arange(counts)
+        return pair_index, self._csr_flat[flat_pos] + self.origin
+
     def describe(self) -> str:
         return f"{self.name}({self.family.label or 'family'}, origin={self.origin})"
 
@@ -143,6 +194,9 @@ class CyclicFamilySchedule(DeterministicProtocol):
             raise ValueError("cannot build a cyclic schedule from an empty family")
         self.family = family
         self._station_offsets = FamilySchedule._build_offsets(family)
+        self._csr_flat, self._csr_keys = _build_offset_csr(
+            self._station_offsets, family.n, family.length
+        )
 
     def transmits(self, station: int, wake_time: int, slot: int) -> bool:
         if slot < wake_time:
@@ -165,6 +219,32 @@ class CyclicFamilySchedule(DeterministicProtocol):
         slots = slots[(slots >= lo) & (slots < hi)]
         slots.sort()
         return slots
+
+    def batch_transmit_slots(
+        self, stations: np.ndarray, wakes: np.ndarray, start: int, stop: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        stations = np.asarray(stations, dtype=np.int64)
+        wakes = np.asarray(wakes, dtype=np.int64)
+        z = self.family.length
+        hi = int(stop)
+        lo = np.maximum(wakes, int(start))
+        # Expand each pair into its overlapped cycles of the period.
+        first_cycle = lo // z
+        ncycles = np.where(lo < hi, (hi - 1) // z - first_cycle + 1, 0)
+        cyc_pair = np.repeat(np.arange(len(stations), dtype=np.int64), ncycles)
+        cycle = np.repeat(first_cycle, ncycles) + ragged_arange(ncycles)
+        base = cycle * z
+        # Per (pair, cycle) offset window inside [0, z), then searchsorted
+        # against the composed keys — exact output size, no over-enumeration.
+        cycle_lo = np.maximum(lo[cyc_pair] - base, 0)
+        cycle_hi = np.minimum(hi - base, z)
+        st = stations[cyc_pair]
+        left = np.searchsorted(self._csr_keys, st * z + cycle_lo, side="left")
+        right = np.searchsorted(self._csr_keys, st * z + cycle_hi, side="left")
+        counts = right - left
+        pair_index = np.repeat(cyc_pair, counts)
+        flat_pos = np.repeat(left, counts) + ragged_arange(counts)
+        return pair_index, np.repeat(base, counts) + self._csr_flat[flat_pos]
 
     def describe(self) -> str:
         return f"{self.name}({self.family.label or 'family'}, period={self.family.length})"
@@ -230,6 +310,36 @@ class InterleavedProtocol(DeterministicProtocol):
         slots = slots[(slots >= lo) & (slots < hi)]
         slots.sort()
         return slots
+
+    def batch_transmit_slots(
+        self, stations: np.ndarray, wakes: np.ndarray, start: int, stop: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        stations = np.asarray(stations, dtype=np.int64)
+        wakes = np.asarray(wakes, dtype=np.int64)
+        lo = np.maximum(wakes, int(start))
+        hi = int(stop)
+        m = self.arity
+        idx_pieces = []
+        slot_pieces = []
+        for component, protocol in enumerate(self.components):
+            v_wakes = np.where(
+                wakes <= component, 0, (wakes - component + m - 1) // m
+            )
+            v_start = ceil_div(int(start) - component, m) if int(start) > component else 0
+            v_stop = ceil_div(hi - component, m) if hi > component else 0
+            if v_stop <= v_start:
+                continue
+            pidx, virtual = protocol.batch_transmit_slots(stations, v_wakes, v_start, v_stop)
+            if not pidx.size:
+                continue
+            slots = virtual * m + component
+            keep = (slots >= lo[pidx]) & (slots < hi)
+            idx_pieces.append(pidx[keep])
+            slot_pieces.append(slots[keep])
+        if not slot_pieces:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(idx_pieces), np.concatenate(slot_pieces)
 
     def describe(self) -> str:
         inner = ", ".join(c.describe() for c in self.components)

@@ -1,0 +1,25 @@
+"""Batched simulation engine: resolve many wake-up patterns per call.
+
+All bounds in the paper are worst-case over the adversary's choice of wake-up
+pattern, so empirical confidence scales with how many patterns the harness
+can push through the channel simulator.  This package is the batch-execution
+layer on top of :mod:`repro.channel`:
+
+* :func:`~repro.engine.batch.run_deterministic_batch` — one vectorized
+  chunked scan resolving B patterns (2-D transmit-count accumulation,
+  per-row first-success extraction);
+* :class:`~repro.engine.batch.BatchResult` — column-oriented results with
+  summary statistics, convertible row-by-row to
+  :class:`~repro.channel.simulator.WakeupResult`;
+* :class:`~repro.engine.campaign.Campaign` — shards large pattern sets across
+  ``concurrent.futures`` workers with ``SeedSequence``-derived child
+  generators and :class:`~repro.experiments.cache.FamilyCache` integration.
+
+The scenario generators that feed this engine live in
+:mod:`repro.workloads`.
+"""
+
+from repro.engine.batch import BatchResult, run_deterministic_batch
+from repro.engine.campaign import Campaign
+
+__all__ = ["BatchResult", "run_deterministic_batch", "Campaign"]

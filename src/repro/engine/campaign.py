@@ -1,0 +1,183 @@
+"""Campaign orchestration: shard large pattern sets across workers.
+
+A *campaign* is the unit of empirical confidence: thousands of wake-up
+patterns pushed through one protocol.  :class:`Campaign` cuts the pattern set
+into shards, resolves each shard with
+:func:`~repro.engine.batch.run_deterministic_batch` (or, for randomized
+policies, the slot-loop engine with an independent per-pattern generator),
+and reassembles the per-shard columns in input order.
+
+Two invariants make campaigns reproducible and composable:
+
+* **Sharding never changes results.**  Deterministic batches are sharding-
+  oblivious by construction; for randomized policies every pattern gets its
+  own child generator derived with ``numpy.random.SeedSequence.spawn`` (see
+  :mod:`repro._util`), so the outcome of pattern ``i`` does not depend on the
+  shard size or worker count.
+* **Construction cost is shared.**  The selective-family constructions behind
+  Scenario A/B protocols are served from a
+  :class:`~repro.experiments.cache.FamilyCache`
+  (:meth:`Campaign.for_scenario_b`), so a campaign sweep pays for each
+  ``(n, seed)`` concatenation once.
+
+Example
+-------
+>>> from repro.core.round_robin import RoundRobin
+>>> from repro.engine import Campaign
+>>> from repro.workloads import WorkloadSuite
+>>> patterns = WorkloadSuite().generate("uniform", n=64, k=8, batch=32, seed=0)
+>>> campaign = Campaign(RoundRobin(64), shard_size=8, workers=2)
+>>> result = campaign.run(patterns)
+>>> len(result), bool(result.solved.all())
+(32, True)
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro._util import RngLike, spawn_generators
+from repro.channel.protocols import DeterministicProtocol, RandomizedPolicy
+from repro.channel.simulator import DEFAULT_MAX_SLOTS, run_randomized
+from repro.channel.wakeup import WakeupPattern
+from repro.engine.batch import DEFAULT_BATCH_CHUNK, BatchResult, run_deterministic_batch
+
+__all__ = ["Campaign"]
+
+
+@dataclass
+class Campaign:
+    """Shard-and-merge executor for large pattern batches.
+
+    Parameters
+    ----------
+    protocol:
+        A :class:`~repro.channel.protocols.DeterministicProtocol` (resolved by
+        the vectorized batch engine) or a
+        :class:`~repro.channel.protocols.RandomizedPolicy` (resolved by the
+        slot-loop engine, one independent child generator per pattern).
+    max_slots, chunk:
+        Forwarded to the underlying engines.
+    shard_size:
+        Number of patterns per shard.  Sharding only affects scheduling —
+        results are identical for every shard size.
+    workers:
+        Worker threads resolving shards concurrently; ``0`` or ``1`` runs the
+        shards serially in the calling thread.  The batch engine spends its
+        time in NumPy kernels that release the GIL, so threads scale without
+        requiring picklable protocols.
+    seed:
+        Base seed for randomized policies; each pattern's generator is derived
+        from it via ``SeedSequence.spawn``.  Ignored for deterministic
+        protocols.
+    """
+
+    protocol: object
+    max_slots: int = DEFAULT_MAX_SLOTS
+    chunk: int = DEFAULT_BATCH_CHUNK
+    shard_size: int = 256
+    workers: int = 0
+    seed: RngLike = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.protocol, (DeterministicProtocol, RandomizedPolicy)):
+            raise TypeError(
+                "Campaign requires a DeterministicProtocol or RandomizedPolicy, "
+                f"got {type(self.protocol).__name__}"
+            )
+        if self.shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {self.shard_size}")
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+
+    @classmethod
+    def for_scenario_b(
+        cls,
+        n: int,
+        k: int,
+        *,
+        cache=None,
+        family_seed: int = 0,
+        **options,
+    ) -> "Campaign":
+        """Build a campaign around ``wakeup_with_k`` with cached families.
+
+        The selective families backing the protocol are served from ``cache``
+        (defaulting to the module-level
+        :data:`~repro.experiments.cache.shared_cache`), so sweeping many
+        ``k`` values for one ``n`` constructs the concatenation once.
+        """
+        from repro.core.scenario_b import WakeupWithK
+        from repro.experiments.cache import shared_cache
+
+        cache = shared_cache if cache is None else cache
+        families = cache.concatenation(n, k, seed=family_seed)
+        return cls(WakeupWithK(n, k, families=families), **options)
+
+    # -- execution -----------------------------------------------------------
+
+    def _shards(self, patterns: List[WakeupPattern]) -> List[List[WakeupPattern]]:
+        return [
+            patterns[i : i + self.shard_size]
+            for i in range(0, len(patterns), self.shard_size)
+        ]
+
+    def run(self, patterns: Sequence[WakeupPattern]) -> BatchResult:
+        """Resolve every pattern; rows align with the input order."""
+        patterns = list(patterns)
+        if isinstance(self.protocol, DeterministicProtocol):
+            if not patterns:
+                return run_deterministic_batch(self.protocol, patterns)
+            runner = self._run_deterministic_shard
+            jobs = self._shards(patterns)
+        else:
+            if not patterns:
+                raise ValueError("a randomized campaign needs at least one pattern")
+            # One child generator per pattern, derived before sharding so the
+            # stream assignment is independent of shard_size and workers.
+            generators = spawn_generators(self.seed, len(patterns), "campaign")
+            paired = list(zip(patterns, generators))
+            runner = self._run_randomized_shard
+            jobs = [
+                paired[i : i + self.shard_size]
+                for i in range(0, len(paired), self.shard_size)
+            ]
+        if self.workers > 1 and len(jobs) > 1:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                results = list(pool.map(runner, jobs))
+        else:
+            results = [runner(job) for job in jobs]
+        return BatchResult.concat(results)
+
+    def _run_deterministic_shard(self, shard: List[WakeupPattern]) -> BatchResult:
+        return run_deterministic_batch(
+            self.protocol, shard, max_slots=self.max_slots, chunk=self.chunk
+        )
+
+    def _run_randomized_shard(self, shard) -> BatchResult:
+        outcomes = [
+            run_randomized(self.protocol, pattern, rng=gen, max_slots=self.max_slots)
+            for pattern, gen in shard
+        ]
+        return BatchResult(
+            protocol=self.protocol.describe(),
+            n=self.protocol.n,
+            solved=np.asarray([r.solved for r in outcomes], dtype=bool),
+            k=np.asarray([r.k for r in outcomes], dtype=np.int64),
+            first_wake=np.asarray([r.first_wake for r in outcomes], dtype=np.int64),
+            success_slot=np.asarray(
+                [-1 if r.success_slot is None else r.success_slot for r in outcomes],
+                dtype=np.int64,
+            ),
+            winner=np.asarray(
+                [-1 if r.winner is None else r.winner for r in outcomes], dtype=np.int64
+            ),
+            latency=np.asarray(
+                [-1 if r.latency is None else r.latency for r in outcomes], dtype=np.int64
+            ),
+            slots_examined=np.asarray([r.slots_examined for r in outcomes], dtype=np.int64),
+        )

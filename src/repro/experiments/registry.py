@@ -1,4 +1,7 @@
-"""The experiment registry: E1–E10 from DESIGN.md, each as a callable.
+"""The experiment registry: E1–E11, each as a callable.
+
+E1–E10 reproduce DESIGN.md's experiment index; E11 is the global-vs-local
+clock extension (the paper's closing open question).
 
 Every experiment function takes an :class:`~repro.experiments.config.ExperimentScale`
 (and an optional seed) and returns an

@@ -17,7 +17,7 @@ import numpy as np
 from repro._util import RngLike, as_generator
 from repro.analysis.certificates import BoundCertificate
 from repro.channel.protocols import DeterministicProtocol, RandomizedPolicy
-from repro.channel.simulator import run_deterministic, run_randomized
+from repro.channel.simulator import run_randomized
 from repro.channel.wakeup import WakeupPattern
 
 __all__ = ["ExperimentResult", "measure_latency", "worst_latency", "mean_latency"]
@@ -88,22 +88,27 @@ def measure_latency(
 ) -> List[int]:
     """Latency (slots from first wake-up to first success) for each pattern.
 
-    Deterministic protocols and randomized policies are dispatched to the
-    appropriate engine; a run that does not solve wake-up within the horizon
-    raises, because every protocol in the library is supposed to succeed and a
-    silent truncation would corrupt the tables.
+    Deterministic protocols route through the vectorized batch engine
+    (:func:`repro.engine.run_deterministic_batch` — bit-identical outcomes to
+    per-pattern simulation, resolved in one shared scan); randomized policies
+    use the slot-loop engine with a shared generator.  A run that does not
+    solve wake-up within the horizon raises, because every protocol in the
+    library is supposed to succeed and a silent truncation would corrupt the
+    tables.
     """
-    gen = as_generator(rng)
-    latencies: List[int] = []
-    for pattern in patterns:
-        if isinstance(protocol, DeterministicProtocol):
-            result = run_deterministic(protocol, pattern, max_slots=max_slots)
-        elif isinstance(protocol, RandomizedPolicy):
-            result = run_randomized(protocol, pattern, rng=gen, max_slots=max_slots)
-        else:
-            raise TypeError(f"unsupported protocol type {type(protocol).__name__}")
-        latencies.append(result.require_solved())
-    return latencies
+    patterns = list(patterns)
+    if isinstance(protocol, DeterministicProtocol):
+        from repro.engine import run_deterministic_batch
+
+        batch = run_deterministic_batch(protocol, patterns, max_slots=max_slots)
+        return [int(latency) for latency in batch.require_all_solved()]
+    if isinstance(protocol, RandomizedPolicy):
+        gen = as_generator(rng)
+        return [
+            run_randomized(protocol, pattern, rng=gen, max_slots=max_slots).require_solved()
+            for pattern in patterns
+        ]
+    raise TypeError(f"unsupported protocol type {type(protocol).__name__}")
 
 
 def worst_latency(

@@ -1,0 +1,217 @@
+"""Scenario generators new to the workload suite.
+
+:mod:`repro.channel.adversary` provides the structured patterns the paper's
+experiments need (simultaneous, staggered, batched, uniform, boundary
+attacks).  This module adds the generators that round the library out into a
+workload *suite* — traffic shapes observed in real deployments plus adversary
+classes that stress different structural assumptions:
+
+* :func:`heavy_tailed_pattern` — Pareto-distributed wake staggering: most
+  stations wake almost together, a heavy tail trickles in much later (flash
+  crowds, cascading restarts);
+* :func:`duty_cycle_pattern` — periodic sensor duty-cycles: wake-ups
+  concentrate in short active windows that recur every ``period`` slots;
+* :func:`churn_burst_pattern` — churn: cohorts of stations arrive in bursts
+  separated by quiet gaps, each burst smeared over a few slots;
+* :func:`clustered_id_pattern` — contiguous blocks of station IDs wake
+  together, stressing schedules whose structure is keyed on ID arithmetic;
+* :func:`density_drawn_pattern` — the building block of density sweeps: the
+  number of contenders is itself drawn (log-uniformly up to ``k``), so a
+  batch spans the whole density range instead of sitting at one ``k``.
+
+Every generator follows the :mod:`repro.channel.adversary` conventions: the
+signature starts ``(n, k, *, start=0, ..., stations=None, rng=None)``, the
+station subset defaults to a uniform draw, and one station is pinned to
+``start`` so that ``s`` (the first wake-up) is deterministic and latencies of
+different draws are comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro._util import RngLike, as_generator, validate_k_n
+from repro.channel.adversary import random_station_subset, uniform_random_pattern
+from repro.channel.wakeup import WakeupPattern
+
+__all__ = [
+    "heavy_tailed_pattern",
+    "duty_cycle_pattern",
+    "churn_burst_pattern",
+    "clustered_id_pattern",
+    "density_drawn_pattern",
+]
+
+
+def heavy_tailed_pattern(
+    n: int,
+    k: int,
+    *,
+    start: int = 0,
+    scale: float = 8.0,
+    alpha: float = 1.2,
+    cap: int = 100_000,
+    stations: Optional[Sequence[int]] = None,
+    rng: RngLike = None,
+) -> WakeupPattern:
+    """Stations wake after Pareto-distributed (heavy-tailed) delays.
+
+    Each wake offset is ``floor(scale * X)`` with ``X ~ Lomax(alpha)``: for
+    ``alpha`` close to 1 most stations wake within a few ``scale`` of slots
+    while a few stragglers arrive orders of magnitude later — the shape of
+    flash crowds and cascading restarts.  Offsets are capped at ``cap`` so a
+    single extreme draw cannot push the horizon out of reach.
+    """
+    k, n = validate_k_n(k, n)
+    if scale <= 0:
+        raise ValueError(f"scale must be > 0, got {scale}")
+    if alpha <= 0:
+        raise ValueError(f"alpha must be > 0, got {alpha}")
+    if cap < 1:
+        raise ValueError(f"cap must be >= 1, got {cap}")
+    gen = as_generator(rng)
+    chosen = list(stations) if stations is not None else random_station_subset(n, k, gen)
+    offsets = np.minimum(np.floor(scale * gen.pareto(alpha, size=k)).astype(np.int64), cap)
+    times = {u: start + int(o) for u, o in zip(chosen, offsets)}
+    times[chosen[0]] = start
+    return WakeupPattern(n, times)
+
+
+def duty_cycle_pattern(
+    n: int,
+    k: int,
+    *,
+    start: int = 0,
+    period: int = 64,
+    periods: int = 4,
+    active_fraction: float = 0.25,
+    stations: Optional[Sequence[int]] = None,
+    rng: RngLike = None,
+) -> WakeupPattern:
+    """Periodic sensor duty-cycles: wake-ups cluster in recurring windows.
+
+    Each station picks one of ``periods`` duty cycles and wakes inside that
+    cycle's active window — the first ``active_fraction`` of the ``period``.
+    The result is the comb-shaped arrival process of duty-cycled sensor
+    networks: dense bursts at ``start + c * period``, silence in between.
+    """
+    k, n = validate_k_n(k, n)
+    if period < 1:
+        raise ValueError(f"period must be >= 1, got {period}")
+    if periods < 1:
+        raise ValueError(f"periods must be >= 1, got {periods}")
+    if not 0.0 < active_fraction <= 1.0:
+        raise ValueError(f"active_fraction must be in (0, 1], got {active_fraction}")
+    gen = as_generator(rng)
+    chosen = list(stations) if stations is not None else random_station_subset(n, k, gen)
+    active_len = max(1, int(period * active_fraction))
+    cycle = gen.integers(0, periods, size=k)
+    offset = gen.integers(0, active_len, size=k)
+    times = {u: start + int(c) * period + int(o) for u, c, o in zip(chosen, cycle, offset)}
+    times[chosen[0]] = start
+    return WakeupPattern(n, times)
+
+
+def churn_burst_pattern(
+    n: int,
+    k: int,
+    *,
+    start: int = 0,
+    bursts: int = 3,
+    burst_gap: int = 48,
+    spread: int = 2,
+    stations: Optional[Sequence[int]] = None,
+    rng: RngLike = None,
+) -> WakeupPattern:
+    """Churn: cohorts of stations arrive in bursts separated by quiet gaps.
+
+    Stations are dealt round-robin into ``bursts`` cohorts; cohort ``b``
+    arrives around ``start + b * burst_gap``, each member jittered by up to
+    ``spread`` slots.  This models membership churn — every ``burst_gap``
+    slots a fresh cohort joins the contention while earlier cohorts are still
+    unresolved.
+    """
+    k, n = validate_k_n(k, n)
+    if bursts < 1:
+        raise ValueError(f"bursts must be >= 1, got {bursts}")
+    if burst_gap < 0:
+        raise ValueError(f"burst_gap must be >= 0, got {burst_gap}")
+    if spread < 0:
+        raise ValueError(f"spread must be >= 0, got {spread}")
+    gen = as_generator(rng)
+    chosen = list(stations) if stations is not None else random_station_subset(n, k, gen)
+    jitter = gen.integers(0, spread + 1, size=k)
+    times = {
+        u: start + (i % bursts) * burst_gap + int(jitter[i]) for i, u in enumerate(chosen)
+    }
+    times[chosen[0]] = start
+    return WakeupPattern(n, times)
+
+
+def clustered_id_pattern(
+    n: int,
+    k: int,
+    *,
+    start: int = 0,
+    clusters: int = 2,
+    window: int = 32,
+    rng: RngLike = None,
+) -> WakeupPattern:
+    """Adversarially clustered IDs: contiguous blocks of stations wake together.
+
+    The awakened set is the union of ``clusters`` contiguous runs of station
+    IDs (wake times uniform over ``window``).  Many schedules in the library
+    derive transmit slots from ID arithmetic (round-robin residues, selector
+    block structure, matrix rows), so neighbouring IDs are exactly the
+    correlated inputs a random subset never produces.
+    """
+    k, n = validate_k_n(k, n)
+    if clusters < 1:
+        raise ValueError(f"clusters must be >= 1, got {clusters}")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    clusters = min(clusters, k)
+    gen = as_generator(rng)
+    # Split k into `clusters` contiguous runs and place each run at a random
+    # base ID; collisions between runs are topped up with fresh random IDs so
+    # the pattern always has exactly k stations.
+    sizes = [k // clusters + (1 if c < k % clusters else 0) for c in range(clusters)]
+    chosen: set[int] = set()
+    for size in sizes:
+        base = int(gen.integers(1, n - size + 2))
+        chosen.update(range(base, base + size))
+    pool = [u for u in range(1, n + 1) if u not in chosen]
+    shortfall = k - len(chosen)
+    if shortfall > 0:
+        extra = gen.choice(len(pool), size=shortfall, replace=False)
+        chosen.update(pool[int(i)] for i in extra)
+    ordered = sorted(chosen)[:k]
+    times = {u: start + int(gen.integers(0, window)) for u in ordered}
+    times[ordered[0]] = start
+    return WakeupPattern(n, times)
+
+
+def density_drawn_pattern(
+    n: int,
+    k: int,
+    *,
+    start: int = 0,
+    window: int = 128,
+    k_min: int = 2,
+    rng: RngLike = None,
+) -> WakeupPattern:
+    """Draw the contender count itself, then a uniform pattern at that density.
+
+    The effective ``k`` is sampled log-uniformly from ``[k_min, k]``, so a
+    batch of these patterns sweeps the whole density range — sparse handfuls
+    and near-``k`` crowds in one workload — instead of sitting at a single
+    operating point.  ``pattern.k`` records the drawn density.
+    """
+    k, n = validate_k_n(k, n)
+    k_min = max(1, min(int(k_min), k))
+    gen = as_generator(rng)
+    log_lo, log_hi = np.log(k_min), np.log(k + 1)
+    k_eff = min(k, int(np.exp(gen.uniform(log_lo, log_hi))))
+    return uniform_random_pattern(n, max(k_min, k_eff), start=start, window=window, rng=gen)

@@ -1,0 +1,228 @@
+"""The workload registry and the :class:`WorkloadSuite` façade.
+
+A *workload* is a named, parameterized recipe for drawing wake-up patterns:
+``(name, n, k, seed)`` fully determines the batch it yields (per-pattern
+generators are derived with ``numpy.random.SeedSequence.spawn`` keyed on the
+workload name — see the seed-derivation convention in :mod:`repro._util`), so
+any latency number in a report can be regenerated from those four values.
+
+The registry spans the :mod:`repro.channel.adversary` primitives
+(simultaneous, staggered, batched, uniform) and the suite's own generators
+(:mod:`repro.workloads.generators`).  Downstream code consumes workloads
+through :class:`WorkloadSuite`:
+
+>>> from repro.workloads import WorkloadSuite
+>>> suite = WorkloadSuite()
+>>> batch = suite.generate("heavy-tailed", n=64, k=8, batch=16, seed=0)
+>>> len(batch), batch[0].n
+(16, 64)
+>>> batch == suite.generate("heavy-tailed", n=64, k=8, batch=16, seed=0)
+True
+
+New workloads register with :func:`register_workload` (exposed for plugins and
+experiments that want project-specific traffic shapes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro._util import RngLike, spawn_generators, validate_k_n
+from repro.channel.adversary import (
+    batched_pattern,
+    simultaneous_pattern,
+    staggered_pattern,
+    uniform_random_pattern,
+)
+from repro.channel.wakeup import WakeupPattern
+from repro.workloads.generators import (
+    churn_burst_pattern,
+    clustered_id_pattern,
+    density_drawn_pattern,
+    duty_cycle_pattern,
+    heavy_tailed_pattern,
+)
+
+__all__ = ["Workload", "WorkloadSuite", "WORKLOADS", "register_workload"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named scenario generator.
+
+    Attributes
+    ----------
+    name:
+        Registry key (kebab-case).
+    description:
+        One-line summary shown by ``repro workloads list``.
+    factory:
+        Callable ``(n, k, *, rng, **params) -> WakeupPattern`` drawing one
+        pattern; the suite calls it once per batch row with an independent
+        child generator.
+    defaults:
+        Default keyword parameters merged under any per-call overrides.
+    """
+
+    name: str
+    description: str
+    factory: Callable[..., WakeupPattern]
+    defaults: Dict[str, object] = field(default_factory=dict)
+
+    def draw(self, n: int, k: int, *, rng: RngLike = None, **overrides) -> WakeupPattern:
+        """Draw one pattern, merging ``overrides`` over the stored defaults."""
+        params = {**self.defaults, **overrides}
+        return self.factory(n, k, rng=rng, **params)
+
+
+#: The global workload registry, keyed by workload name.
+WORKLOADS: Dict[str, Workload] = {}
+
+
+def register_workload(
+    name: str,
+    description: str,
+    factory: Callable[..., WakeupPattern],
+    *,
+    defaults: Optional[Dict[str, object]] = None,
+    replace: bool = False,
+) -> Workload:
+    """Register a named workload; returns the :class:`Workload` record.
+
+    ``replace=False`` (the default) refuses to overwrite an existing name so
+    plugins cannot silently shadow the built-in suite.
+    """
+    if not replace and name in WORKLOADS:
+        raise ValueError(f"workload {name!r} is already registered")
+    workload = Workload(name, description, factory, defaults=dict(defaults or {}))
+    WORKLOADS[name] = workload
+    return workload
+
+
+register_workload(
+    "simultaneous",
+    "all k stations wake at the same slot (classical synchronized case)",
+    simultaneous_pattern,
+)
+register_workload(
+    "staggered",
+    "stations wake one after another, a fixed gap apart",
+    staggered_pattern,
+    defaults={"gap": 1},
+)
+register_workload(
+    "batched",
+    "stations wake in fixed-size bursts separated by a fixed gap",
+    batched_pattern,
+)
+register_workload(
+    "uniform",
+    "independent uniform wake times over a window",
+    uniform_random_pattern,
+)
+register_workload(
+    "heavy-tailed",
+    "Pareto-staggered wake-ups: a dense head and a long straggler tail",
+    heavy_tailed_pattern,
+)
+register_workload(
+    "duty-cycle",
+    "periodic sensor duty-cycles: bursts recurring every period slots",
+    duty_cycle_pattern,
+)
+register_workload(
+    "churn",
+    "cohorts arriving in bursts separated by quiet gaps (membership churn)",
+    churn_burst_pattern,
+)
+register_workload(
+    "clustered-ids",
+    "contiguous blocks of station IDs wake together (ID-structure adversary)",
+    clustered_id_pattern,
+)
+register_workload(
+    "density-sweep",
+    "contender count drawn log-uniformly up to k, then uniform wake times",
+    density_drawn_pattern,
+)
+
+
+class WorkloadSuite:
+    """Reproducible batches of wake-up patterns from ``(name, n, k, seed)``.
+
+    The suite is a thin, seed-disciplined view over a workload registry
+    (defaulting to the module-level :data:`WORKLOADS`): every batch row gets
+    its own ``SeedSequence``-spawned generator keyed on the workload name, so
+
+    * the same ``(name, n, k, batch, seed)`` always yields the same patterns,
+    * row ``i`` is independent of the batch size (prefixes agree), and
+    * two workloads never share streams even at the same seed.
+
+    Examples
+    --------
+    >>> suite = WorkloadSuite()
+    >>> "churn" in suite.names()
+    True
+    >>> a = suite.generate("churn", n=32, k=4, batch=8, seed=7)
+    >>> b = suite.generate("churn", n=32, k=4, batch=12, seed=7)
+    >>> a == b[:8]
+    True
+    """
+
+    def __init__(self, registry: Optional[Dict[str, Workload]] = None) -> None:
+        self.registry = WORKLOADS if registry is None else registry
+
+    def names(self) -> List[str]:
+        """Registered workload names, sorted."""
+        return sorted(self.registry)
+
+    def get(self, name: str) -> Workload:
+        """Look up one workload, with a helpful error for unknown names."""
+        try:
+            return self.registry[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown workload {name!r}; registered: {self.names()}"
+            ) from None
+
+    def describe(self, name: str) -> str:
+        """One-line description of a workload."""
+        return self.get(name).description
+
+    def sample(self, name: str, *, n: int, k: int, seed: int = 0, **overrides) -> WakeupPattern:
+        """Draw the first pattern of the batch (``generate(...)[0]``, cheaper)."""
+        return self.generate(name, n=n, k=k, batch=1, seed=seed, **overrides)[0]
+
+    def generate(
+        self,
+        name: str,
+        *,
+        n: int,
+        k: int,
+        batch: int,
+        seed: int = 0,
+        **overrides,
+    ) -> List[WakeupPattern]:
+        """Draw a reproducible batch of ``batch`` patterns.
+
+        Parameters
+        ----------
+        name:
+            Registry key (see :meth:`names`).
+        n, k:
+            Universe size and contender budget passed to the generator.
+        batch:
+            Number of patterns; row ``i`` only depends on ``(name, seed, i)``.
+        seed:
+            Base seed; child generators are spawned per row (never reused
+            across workload names, see :mod:`repro._util`).
+        overrides:
+            Extra generator parameters (e.g. ``gap=4`` for ``staggered``).
+        """
+        k, n = validate_k_n(k, n)
+        if batch < 0:
+            raise ValueError(f"batch must be >= 0, got {batch}")
+        workload = self.get(name)
+        generators = spawn_generators(seed, batch, name)
+        return [workload.draw(n, k, rng=gen, **overrides) for gen in generators]

@@ -1,0 +1,106 @@
+"""Unit tests for :mod:`repro.engine.batch` (container behaviour and edges)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.simulator import WakeupResult, run_deterministic
+from repro.channel.wakeup import WakeupPattern
+from repro.core.round_robin import RoundRobin
+from repro.engine import BatchResult, run_deterministic_batch
+
+
+@pytest.fixture
+def batch_result():
+    protocol = RoundRobin(16)
+    patterns = [
+        WakeupPattern(16, {5: 0, 9: 3}),
+        WakeupPattern(16, {2: 1, 3: 1}),
+        WakeupPattern(16, {11: 4}),
+    ]
+    return run_deterministic_batch(protocol, patterns), protocol, patterns
+
+
+class TestRunDeterministicBatch:
+    def test_empty_batch(self):
+        result = run_deterministic_batch(RoundRobin(8), [])
+        assert len(result) == 0
+        assert result.solved_fraction == 1.0
+
+    def test_rejects_randomized_policies(self):
+        from repro.core.randomized import RepeatedProbabilityDecrease
+
+        with pytest.raises(TypeError):
+            run_deterministic_batch(RepeatedProbabilityDecrease(8), [])
+
+    def test_rejects_mismatched_universe(self):
+        with pytest.raises(ValueError, match="does not match"):
+            run_deterministic_batch(RoundRobin(8), [WakeupPattern(16, {3: 0})])
+
+    def test_single_station_solves_at_its_slot(self):
+        result = run_deterministic_batch(RoundRobin(16), [WakeupPattern(16, {11: 4})])
+        reference = run_deterministic(RoundRobin(16), WakeupPattern(16, {11: 4}))
+        assert result.success_slot[0] == reference.success_slot
+        assert result.winner[0] == 11
+
+    def test_rows_with_distant_first_wakes_share_one_scan(self):
+        patterns = [WakeupPattern(16, {3: 0}), WakeupPattern(16, {5: 10_000})]
+        result = run_deterministic_batch(RoundRobin(16), patterns)
+        for i, pattern in enumerate(patterns):
+            reference = run_deterministic(RoundRobin(16), pattern)
+            assert result.success_slot[i] == reference.success_slot
+            assert result.latency[i] == reference.latency
+
+
+class TestBatchResultContainer:
+    def test_len_iter_getitem(self, batch_result):
+        result, protocol, patterns = batch_result
+        assert len(result) == 3
+        rows = list(result)
+        assert all(isinstance(row, WakeupResult) for row in rows)
+        for i, pattern in enumerate(patterns):
+            reference = run_deterministic(protocol, pattern)
+            assert rows[i].success_slot == reference.success_slot
+            assert rows[i].winner == reference.winner
+            assert rows[i].k == pattern.k
+        assert result[-1].winner == result[2].winner
+
+    def test_getitem_out_of_range(self, batch_result):
+        result, _, _ = batch_result
+        with pytest.raises(IndexError):
+            result[3]
+        with pytest.raises(IndexError):
+            result[-4]
+
+    def test_summary_and_statistics(self, batch_result):
+        result, _, _ = batch_result
+        assert result.solved_count == 3
+        summary = result.summary()
+        assert summary["patterns"] == 3.0
+        assert summary["max_latency"] == result.max_latency()
+        assert result.mean_latency() == pytest.approx(float(result.latency.mean()))
+
+    def test_require_all_solved_raises_on_unsolved_rows(self):
+        result = run_deterministic_batch(
+            RoundRobin(16), [WakeupPattern(16, {3: 0, 5: 0})], max_slots=1
+        )
+        assert not result.solved[0]
+        with pytest.raises(RuntimeError, match="did not solve"):
+            result.require_all_solved()
+        assert result.summary() == {"patterns": 1.0, "solved": 0.0}
+
+    def test_concat_preserves_order(self, batch_result):
+        result, _, _ = batch_result
+        merged = BatchResult.concat([result, result])
+        assert len(merged) == 6
+        np.testing.assert_array_equal(merged.latency[:3], result.latency)
+        np.testing.assert_array_equal(merged.latency[3:], result.latency)
+
+    def test_concat_rejects_empty_and_mismatched(self, batch_result):
+        result, _, _ = batch_result
+        with pytest.raises(ValueError):
+            BatchResult.concat([])
+        other = run_deterministic_batch(RoundRobin(8), [WakeupPattern(8, {3: 0})])
+        with pytest.raises(ValueError, match="different protocols"):
+            BatchResult.concat([result, other])

@@ -1,0 +1,86 @@
+"""Tests for :class:`repro.engine.Campaign` (sharding, workers, randomized path)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.wakeup import WakeupPattern
+from repro.core.randomized import RepeatedProbabilityDecrease
+from repro.core.round_robin import RoundRobin
+from repro.engine import Campaign, run_deterministic_batch
+from repro.experiments.cache import FamilyCache
+from repro.workloads import WorkloadSuite
+
+
+@pytest.fixture(scope="module")
+def patterns():
+    return WorkloadSuite().generate("uniform", n=64, k=8, batch=30, seed=5)
+
+
+class TestCampaignValidation:
+    def test_rejects_non_protocols(self):
+        with pytest.raises(TypeError):
+            Campaign(object())
+
+    def test_rejects_bad_shard_size_and_workers(self):
+        with pytest.raises(ValueError):
+            Campaign(RoundRobin(8), shard_size=0)
+        with pytest.raises(ValueError):
+            Campaign(RoundRobin(8), workers=-1)
+
+    def test_randomized_needs_patterns(self):
+        with pytest.raises(ValueError):
+            Campaign(RepeatedProbabilityDecrease(8), seed=0).run([])
+
+
+class TestDeterministicCampaign:
+    def test_matches_unsharded_batch(self, patterns):
+        protocol = RoundRobin(64)
+        expected = run_deterministic_batch(protocol, patterns)
+        for shard_size, workers in ((7, 0), (10, 2), (30, 1), (1, 3)):
+            result = Campaign(protocol, shard_size=shard_size, workers=workers).run(patterns)
+            np.testing.assert_array_equal(result.latency, expected.latency)
+            np.testing.assert_array_equal(result.winner, expected.winner)
+            np.testing.assert_array_equal(result.success_slot, expected.success_slot)
+
+    def test_empty_run(self):
+        result = Campaign(RoundRobin(8)).run([])
+        assert len(result) == 0
+
+
+class TestRandomizedCampaign:
+    def test_outcomes_independent_of_sharding(self, patterns):
+        policy = RepeatedProbabilityDecrease(64)
+        baseline = Campaign(policy, seed=3, shard_size=30, workers=0).run(patterns)
+        for shard_size, workers in ((4, 0), (11, 2)):
+            result = Campaign(policy, seed=3, shard_size=shard_size, workers=workers).run(
+                patterns
+            )
+            np.testing.assert_array_equal(result.success_slot, baseline.success_slot)
+            np.testing.assert_array_equal(result.winner, baseline.winner)
+            np.testing.assert_array_equal(result.latency, baseline.latency)
+
+    def test_seed_changes_outcomes(self, patterns):
+        policy = RepeatedProbabilityDecrease(64)
+        a = Campaign(policy, seed=1).run(patterns)
+        b = Campaign(policy, seed=2).run(patterns)
+        assert not np.array_equal(a.success_slot, b.success_slot)
+
+    def test_row_alignment_with_patterns(self, patterns):
+        policy = RepeatedProbabilityDecrease(64)
+        result = Campaign(policy, seed=0).run(patterns)
+        assert len(result) == len(patterns)
+        np.testing.assert_array_equal(result.k, [p.k for p in patterns])
+        np.testing.assert_array_equal(result.first_wake, [p.first_wake for p in patterns])
+
+
+class TestScenarioBFactory:
+    def test_for_scenario_b_uses_the_given_cache(self, patterns):
+        cache = FamilyCache()
+        campaign = Campaign.for_scenario_b(64, 8, cache=cache, shard_size=8)
+        result = campaign.run(patterns)
+        assert bool(result.solved.all())
+        # The families used by the protocol came from (and stayed in) the cache:
+        # the cached slice holds the very same SelectiveFamily objects.
+        assert cache.concatenation(64, 8, seed=0) == campaign.protocol.wait_and_go_arm.families

@@ -98,6 +98,54 @@ class TestExperimentCommand:
         assert "E8" in out
 
 
+class TestWorkloadsCommand:
+    def test_list_prints_registry(self, capsys):
+        assert main(["workloads", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("heavy-tailed", "duty-cycle", "churn", "clustered-ids", "density-sweep"):
+            assert name in out
+
+    def test_sample_prints_patterns(self, capsys):
+        exit_code = main(
+            ["workloads", "sample", "--workload", "churn", "--n", "32", "--k", "4", "--samples", "2"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert out.count("WakeupPattern") == 2
+
+    def test_run_deterministic_batch(self, capsys):
+        exit_code = main(
+            [
+                "workloads", "run", "--workload", "heavy-tailed", "--protocol", "scenario-b",
+                "--n", "64", "--k", "4", "--batch", "16", "--seed", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "max_latency" in out and "workload: heavy-tailed" in out
+
+    def test_run_randomized_policy(self, capsys):
+        exit_code = main(
+            [
+                "workloads", "run", "--workload", "uniform", "--protocol", "rpd",
+                "--n", "32", "--k", "4", "--batch", "8",
+            ]
+        )
+        assert exit_code == 0
+        assert "mean_latency" in capsys.readouterr().out
+
+    def test_run_unsolved_returns_nonzero(self, capsys):
+        exit_code = main(
+            [
+                "workloads", "run", "--workload", "simultaneous", "--protocol", "round-robin",
+                "--n", "64", "--k", "8", "--batch", "4", "--max-slots", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "NOT SOLVED" in out
+
+
 class TestVerifyMatrixCommand:
     def test_finds_seed(self, capsys):
         exit_code = main(["verify-matrix", "--n", "32", "--attempts", "3", "--seed", "1"])

@@ -38,6 +38,8 @@ class TestPublicSurface:
             "repro.analysis",
             "repro.reporting",
             "repro.experiments",
+            "repro.engine",
+            "repro.workloads",
             "repro.cli",
         ):
             assert importlib.import_module(module) is not None

@@ -1,0 +1,157 @@
+"""Tests for :mod:`repro.workloads` — generators, registry, and suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    WORKLOADS,
+    WorkloadSuite,
+    churn_burst_pattern,
+    clustered_id_pattern,
+    density_drawn_pattern,
+    duty_cycle_pattern,
+    heavy_tailed_pattern,
+    register_workload,
+)
+from repro.workloads.suite import Workload
+
+
+@pytest.fixture
+def suite():
+    return WorkloadSuite()
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "generator",
+        [heavy_tailed_pattern, duty_cycle_pattern, churn_burst_pattern, clustered_id_pattern],
+    )
+    def test_basic_invariants(self, generator, rng):
+        pattern = generator(64, 8, rng=rng)
+        assert pattern.n == 64
+        assert pattern.k == 8
+        assert pattern.first_wake == 0  # one station pinned to start
+        assert all(1 <= u <= 64 for u in pattern.stations)
+
+    def test_heavy_tailed_offsets_are_capped(self, rng):
+        pattern = heavy_tailed_pattern(64, 16, scale=1e6, alpha=0.3, cap=500, rng=rng)
+        assert pattern.last_wake <= 500
+
+    def test_duty_cycle_wakes_fall_in_active_windows(self, rng):
+        period, periods, fraction = 40, 3, 0.25
+        pattern = duty_cycle_pattern(
+            64, 16, period=period, periods=periods, active_fraction=fraction, rng=rng
+        )
+        active_len = int(period * fraction)
+        for t in pattern.wake_times.values():
+            assert t % period < active_len
+            assert t < periods * period
+
+    def test_churn_bursts_are_cohorts(self, rng):
+        pattern = churn_burst_pattern(64, 12, bursts=3, burst_gap=50, spread=0, rng=rng)
+        times = sorted(set(pattern.wake_times.values()))
+        assert times == [0, 50, 100]
+
+    def test_clustered_ids_are_contiguous(self, rng):
+        pattern = clustered_id_pattern(256, 16, clusters=1, rng=rng)
+        ids = sorted(pattern.stations)
+        assert ids == list(range(ids[0], ids[0] + 16))
+
+    def test_clustered_ids_tops_up_on_collisions(self):
+        # With clusters covering most of the universe, overlaps are common;
+        # the pattern must still end up with exactly k stations.
+        for seed in range(10):
+            pattern = clustered_id_pattern(20, 18, clusters=3, rng=seed)
+            assert pattern.k == 18
+
+    def test_density_drawn_k_spans_range(self):
+        ks = {density_drawn_pattern(128, 32, rng=seed).k for seed in range(40)}
+        assert min(ks) < 8 and max(ks) > 16
+        assert all(2 <= k <= 32 for k in ks)
+
+    @pytest.mark.parametrize(
+        "generator,kwargs",
+        [
+            (heavy_tailed_pattern, {"scale": 0}),
+            (heavy_tailed_pattern, {"alpha": -1}),
+            (duty_cycle_pattern, {"period": 0}),
+            (duty_cycle_pattern, {"active_fraction": 0.0}),
+            (churn_burst_pattern, {"bursts": 0}),
+            (churn_burst_pattern, {"spread": -1}),
+            (clustered_id_pattern, {"window": 0}),
+        ],
+    )
+    def test_parameter_validation(self, generator, kwargs, rng):
+        with pytest.raises(ValueError):
+            generator(64, 8, rng=rng, **kwargs)
+
+
+class TestRegistry:
+    def test_builtin_names_present(self, suite):
+        for name in (
+            "simultaneous",
+            "staggered",
+            "batched",
+            "uniform",
+            "heavy-tailed",
+            "duty-cycle",
+            "churn",
+            "clustered-ids",
+            "density-sweep",
+        ):
+            assert name in WORKLOADS
+            assert suite.describe(name)
+
+    def test_register_refuses_silent_overwrite(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_workload("uniform", "dup", lambda n, k, rng=None: None)
+
+    def test_register_and_generate_custom_workload(self):
+        from repro.channel.adversary import simultaneous_pattern
+
+        registry = {"mine": Workload("mine", "test-only", simultaneous_pattern)}
+        suite = WorkloadSuite(registry)
+        assert suite.names() == ["mine"]
+        batch = suite.generate("mine", n=16, k=4, batch=3, seed=0)
+        assert len(batch) == 3
+
+    def test_unknown_name_error_lists_registry(self, suite):
+        with pytest.raises(KeyError, match="unknown workload"):
+            suite.generate("no-such-workload", n=16, k=4, batch=1)
+
+
+class TestWorkloadSuite:
+    def test_batches_are_reproducible(self, suite):
+        for name in suite.names():
+            a = suite.generate(name, n=32, k=4, batch=6, seed=9)
+            b = suite.generate(name, n=32, k=4, batch=6, seed=9)
+            assert a == b, name
+
+    def test_rows_independent_of_batch_size(self, suite):
+        for name in suite.names():
+            short = suite.generate(name, n=32, k=4, batch=4, seed=2)
+            long = suite.generate(name, n=32, k=4, batch=9, seed=2)
+            assert short == long[:4], name
+
+    def test_different_workloads_do_not_share_streams(self, suite):
+        a = suite.generate("uniform", n=64, k=8, batch=4, seed=0)
+        b = suite.generate("heavy-tailed", n=64, k=8, batch=4, seed=0)
+        assert a != b
+
+    def test_overrides_reach_the_generator(self, suite):
+        batch = suite.generate("staggered", n=32, k=4, batch=2, seed=0, gap=10)
+        for pattern in batch:
+            times = sorted(pattern.wake_times.values())
+            assert times == [0, 10, 20, 30]
+
+    def test_sample_is_first_row(self, suite):
+        assert suite.sample("churn", n=32, k=4, seed=3) == suite.generate(
+            "churn", n=32, k=4, batch=2, seed=3
+        )[0]
+
+    def test_batch_validation(self, suite):
+        with pytest.raises(ValueError):
+            suite.generate("uniform", n=32, k=4, batch=-1)
+        assert suite.generate("uniform", n=32, k=4, batch=0) == []
