@@ -74,7 +74,12 @@ from repro.core import (
     scenario_c_bound,
     trivial_lower_bound,
 )
-from repro.engine import BatchResult, Campaign, run_deterministic_batch
+from repro.engine import (
+    BatchResult,
+    Campaign,
+    run_deterministic_batch,
+    run_randomized_batch,
+)
 from repro.experiments import (
     EXPERIMENTS,
     QUICK,
@@ -83,7 +88,12 @@ from repro.experiments import (
     generate_experiments_report,
     run_experiment,
 )
-from repro.workloads import WORKLOADS, WorkloadSuite, register_workload
+from repro.workloads import (
+    WORKLOADS,
+    WorkloadSuite,
+    load_entry_point_workloads,
+    register_workload,
+)
 
 __version__ = "1.0.0"
 
@@ -132,9 +142,11 @@ __all__ = [
     "BatchResult",
     "Campaign",
     "run_deterministic_batch",
+    "run_randomized_batch",
     # workload suite
     "WORKLOADS",
     "WorkloadSuite",
+    "load_entry_point_workloads",
     "register_workload",
     # experiments
     "EXPERIMENTS",

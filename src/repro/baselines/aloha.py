@@ -16,8 +16,10 @@ Two variants are provided:
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro._util import validate_k_n
-from repro.channel.protocols import RandomizedPolicy, StationState
+from repro.channel.protocols import RandomizedPolicy, StationState, zero_before_wake
 
 __all__ = ["SlottedAloha", "tuned_aloha"]
 
@@ -35,6 +37,11 @@ class SlottedAloha(RandomizedPolicy):
 
     def transmit_probability(self, state: StationState, slot: int) -> float:
         return self.p
+
+    def transmit_probability_matrix(self, stations, wakes, start, stop) -> np.ndarray:
+        slots = np.arange(int(start), int(stop), dtype=np.int64)
+        matrix = np.full((len(stations), slots.size), self.p, dtype=np.float64)
+        return zero_before_wake(matrix, slots, wakes)
 
     def describe(self) -> str:
         return f"{self.name}(n={self.n}, p={self.p:.4g})"

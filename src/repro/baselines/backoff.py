@@ -45,6 +45,9 @@ class BinaryExponentialBackoff(RandomizedPolicy):
 
     name = "binary-exponential-backoff"
     requires_collision_detection = True
+    # Probabilities depend on observed collisions: the batch engine resolves
+    # BEB through the slot-loop reference engine, never a probability matrix.
+    feedback_driven = True
 
     def __init__(self, n: int, *, max_exponent: int = 10, rng: RngLike = None) -> None:
         super().__init__(n)

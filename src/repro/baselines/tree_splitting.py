@@ -32,6 +32,8 @@ class TreeSplitting(RandomizedPolicy):
 
     name = "tree-splitting"
     requires_collision_detection = True
+    # The stack counters evolve with ternary feedback: resolved slot by slot.
+    feedback_driven = True
 
     def __init__(self, n: int, *, rng: RngLike = None) -> None:
         super().__init__(n)

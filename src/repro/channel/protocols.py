@@ -13,7 +13,13 @@ Two kinds of protocols exist in the paper's landscape:
 * **Randomized policies** (Section 6 and the stochastic baselines): a station
   transmits with some probability that may depend on its ID, wake-up time,
   the global slot, and — for feedback-dependent baselines such as binary
-  exponential backoff — the history of signals it observed.
+  exponential backoff — the history of signals it observed.  Oblivious
+  policies (no feedback dependence) expose their probabilities as a matrix
+  over ``(station, slot)`` via :meth:`RandomizedPolicy.transmit_probability_matrix`,
+  which is the query the batched randomized engine
+  (:func:`repro.engine.run_randomized_batch`) issues once per chunk;
+  feedback-driven policies declare :attr:`RandomizedPolicy.feedback_driven`
+  and are resolved slot by slot instead.
 
 Concrete deterministic protocols live in :mod:`repro.core`; randomized ones in
 :mod:`repro.core.randomized` and :mod:`repro.baselines`.
@@ -29,7 +35,28 @@ import numpy as np
 from repro._util import validate_positive_int
 from repro.channel.feedback import FeedbackSignal
 
-__all__ = ["DeterministicProtocol", "RandomizedPolicy", "StationState"]
+__all__ = [
+    "DeterministicProtocol",
+    "RandomizedPolicy",
+    "StationState",
+    "zero_before_wake",
+]
+
+
+def zero_before_wake(matrix: np.ndarray, slots: np.ndarray, wakes) -> np.ndarray:
+    """Zero the entries of a (pairs × slots) probability matrix before wake-up.
+
+    Support helper for vectorized
+    :meth:`RandomizedPolicy.transmit_probability_matrix` overrides, enforcing
+    the contract that a sleeping station transmits with probability 0.
+    Short-circuits when every pair is already awake at the window start (the
+    common case in every chunk after the first).
+    """
+    wakes = np.asarray(wakes, dtype=np.int64)
+    if slots.size == 0 or wakes.size == 0 or int(wakes.max()) <= int(slots[0]):
+        return matrix
+    matrix[slots[None, :] < wakes[:, None]] = 0.0
+    return matrix
 
 
 class DeterministicProtocol(ABC):
@@ -139,7 +166,39 @@ class StationState:
 
 
 class RandomizedPolicy(ABC):
-    """A (possibly feedback-driven) randomized transmission policy."""
+    """A (possibly feedback-driven) randomized transmission policy.
+
+    Subclasses must implement the scalar :meth:`transmit_probability`.
+    Oblivious policies — probability a function of ``(station, wake_time,
+    slot)`` only — *should* override :meth:`transmit_probability_matrix` with
+    a closed-form vectorized implementation when used at scale; it is the
+    query the batched randomized engine (:func:`repro.engine.run_randomized_batch`)
+    issues once per chunk.  Policies whose probabilities react to channel
+    feedback must carry :attr:`feedback_driven` (set automatically for
+    subclasses that override :meth:`observe`), which makes the batch engine
+    fall back to the exact slot-loop per pattern.
+    """
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        # Mirror of the DeterministicProtocol guard: a subclass that overrides
+        # the scalar probability but inherits a vectorized matrix from an
+        # intermediate base would answer batch queries with the *base's*
+        # probabilities.  Reset such subclasses to the generic derivation,
+        # which routes through their own transmit_probability.
+        overrides_scalar = "transmit_probability" in cls.__dict__
+        inherits_vectorized = (
+            "transmit_probability_matrix" not in cls.__dict__
+            and cls.transmit_probability_matrix
+            is not RandomizedPolicy.transmit_probability_matrix
+        )
+        if overrides_scalar and inherits_vectorized:
+            cls.transmit_probability_matrix = RandomizedPolicy.transmit_probability_matrix
+        # A subclass that reacts to feedback (overrides observe) almost
+        # certainly feeds it back into its probabilities; treat it as
+        # feedback-driven unless it explicitly declares otherwise.
+        if "observe" in cls.__dict__ and "feedback_driven" not in cls.__dict__:
+            cls.feedback_driven = True
 
     def __init__(self, n: int) -> None:
         self.n = validate_positive_int(n, "n")
@@ -149,6 +208,12 @@ class RandomizedPolicy(ABC):
 
     #: Whether the policy requires collision detection to behave as intended.
     requires_collision_detection: bool = False
+
+    #: Whether transmit probabilities depend on channel feedback (signals seen
+    #: via :meth:`observe`).  Feedback-driven policies cannot be resolved from
+    #: a precomputed probability matrix; the batch engine runs them through
+    #: the slot-loop reference engine, one independent generator per pattern.
+    feedback_driven: bool = False
 
     def create_state(self, station: int, wake_time: int) -> StationState:
         """Create the per-station state at wake-up time."""
@@ -161,6 +226,39 @@ class RandomizedPolicy(ABC):
         Must be in ``[0, 1]``; called only for slots at or after the station's
         wake-up.
         """
+
+    def transmit_probability_matrix(
+        self, stations: np.ndarray, wakes: np.ndarray, start: int, stop: int
+    ) -> np.ndarray:
+        """Transmit probabilities for many ``(station, wake_time)`` pairs at once.
+
+        The batched randomized engine (:func:`repro.engine.run_randomized_batch`)
+        resolves B patterns in one chunked scan; this is the query it issues
+        per chunk.  ``stations`` and ``wakes`` are aligned int arrays
+        describing the pairs; the window ``[start, stop)`` is shared by all of
+        them.
+
+        Returns a float array of shape ``(len(stations), stop - start)``:
+        entry ``[j, t - start]`` is the probability that pair ``j`` transmits
+        at absolute slot ``t``.  Entries at slots before a pair's wake-up must
+        be ``0.0`` (a sleeping station cannot transmit); all entries must lie
+        in ``[0, 1]``.
+
+        The default derives the matrix from the scalar
+        :meth:`transmit_probability` with a fresh state per pair, which is
+        correct exactly for oblivious policies (probability a function of
+        station, wake time and slot only).  Feedback-driven policies
+        (:attr:`feedback_driven`) are never asked for a matrix.
+        """
+        start, stop = int(start), int(stop)
+        length = max(0, stop - start)
+        matrix = np.zeros((len(stations), length), dtype=np.float64)
+        for j in range(len(stations)):
+            wake = int(wakes[j])
+            state = self.create_state(int(stations[j]), wake)
+            for slot in range(max(start, wake), stop):
+                matrix[j, slot - start] = self.transmit_probability(state, slot)
+        return matrix
 
     def observe(
         self, state: StationState, slot: int, signal: FeedbackSignal, transmitted: bool

@@ -12,11 +12,14 @@ semantics (a slot succeeds iff exactly one awake station transmits):
   do not re-scan earlier slots.
 
 * :func:`run_randomized` — a slot-by-slot loop for randomized policies, which
-  may be feedback-driven.  Expected running times of the randomized protocols
-  are logarithmic, so the Python-level loop is not a bottleneck.
+  may be feedback-driven.  It is the *reference* engine: the batched
+  randomized engine (:func:`repro.engine.run_randomized_batch`) reproduces
+  its outcomes bit for bit given the same per-pattern generators, and the
+  property suite holds the two to that contract.
 
-Both return a :class:`WakeupResult`; the equivalence of the two paths on
-deterministic protocols is covered by the test suite.
+Both return a :class:`WakeupResult`; the equivalence of the per-pattern and
+batched paths (:mod:`repro.engine`) is covered by the test suite for both
+protocol kinds.
 """
 
 from __future__ import annotations
@@ -243,6 +246,12 @@ def run_randomized(
     The channel feedback model defaults to the paper's no-collision-detection
     model; policies that declare ``requires_collision_detection`` get the
     ternary model automatically unless one is passed explicitly.
+
+    The per-slot draw discipline — slots ascending, stations in pattern
+    order, one uniform per awake station with positive probability — is a
+    compatibility contract: :func:`repro.engine.run_randomized_batch`
+    consumes generators in exactly this order so batches reproduce these
+    outcomes bit for bit.
     """
     if policy.n != pattern.n:
         raise ValueError(

@@ -32,8 +32,10 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro._util import ceil_log2, validate_k_n, validate_positive_int
-from repro.channel.protocols import RandomizedPolicy, StationState
+from repro.channel.protocols import RandomizedPolicy, StationState, zero_before_wake
 
 __all__ = ["RepeatedProbabilityDecrease", "DecayPolicy", "FixedProbabilityPolicy"]
 
@@ -75,6 +77,14 @@ class RepeatedProbabilityDecrease(RandomizedPolicy):
         phase = slot % self.period
         return 2.0 ** (-(1 + phase))
 
+    def transmit_probability_matrix(self, stations, wakes, start, stop) -> np.ndarray:
+        # The sweep is a pure function of the global slot: one row of
+        # probabilities broadcast to every pair, zeroed before wake-up.
+        slots = np.arange(int(start), int(stop), dtype=np.int64)
+        row = 2.0 ** (-(1.0 + (slots % self.period)))
+        matrix = np.broadcast_to(row, (len(stations), slots.size)).copy()
+        return zero_before_wake(matrix, slots, wakes)
+
     def describe(self) -> str:
         known = f", k={self.k}" if self.k is not None else ""
         return f"{self.name}(n={self.n}{known}, period={self.period})"
@@ -101,6 +111,18 @@ class DecayPolicy(RandomizedPolicy):
         phase = (slot - state.wake_time) % self.period
         return 2.0 ** (-(1 + phase))
 
+    def transmit_probability_matrix(self, stations, wakes, start, stop) -> np.ndarray:
+        # Closed-form in (slot, wake_time): the sweep phase only depends on
+        # the wake time modulo the period, so the matrix is a row gather from
+        # a (period × slots) table — one pass over the output instead of a
+        # broadcast subtract, modulo and power.
+        slots = np.arange(int(start), int(stop), dtype=np.int64)
+        wakes = np.asarray(wakes, dtype=np.int64)
+        residues = np.arange(self.period, dtype=np.int64)
+        table = np.ldexp(1.0, -(1 + (slots[None, :] - residues[:, None]) % self.period))
+        matrix = table[wakes % self.period]
+        return zero_before_wake(matrix, slots, wakes)
+
     def describe(self) -> str:
         return f"{self.name}(n={self.n}, period={self.period})"
 
@@ -118,6 +140,11 @@ class FixedProbabilityPolicy(RandomizedPolicy):
 
     def transmit_probability(self, state: StationState, slot: int) -> float:
         return self.p
+
+    def transmit_probability_matrix(self, stations, wakes, start, stop) -> np.ndarray:
+        slots = np.arange(int(start), int(stop), dtype=np.int64)
+        matrix = np.full((len(stations), slots.size), self.p, dtype=np.float64)
+        return zero_before_wake(matrix, slots, wakes)
 
     def describe(self) -> str:
         return f"{self.name}(n={self.n}, p={self.p})"

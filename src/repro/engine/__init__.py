@@ -3,23 +3,35 @@
 All bounds in the paper are worst-case over the adversary's choice of wake-up
 pattern, so empirical confidence scales with how many patterns the harness
 can push through the channel simulator.  This package is the batch-execution
-layer on top of :mod:`repro.channel`:
+layer on top of :mod:`repro.channel`, with **one** chunked-scan core shared
+by both protocol kinds:
 
 * :func:`~repro.engine.batch.run_deterministic_batch` — one vectorized
   chunked scan resolving B patterns (2-D transmit-count accumulation,
   per-row first-success extraction);
+* :func:`~repro.engine.batch.run_randomized_batch` — the same scan fed by
+  Bernoulli samples over each policy's
+  :meth:`~repro.channel.protocols.RandomizedPolicy.transmit_probability_matrix`,
+  one ``SeedSequence``-spawned child generator per pattern (bit-for-bit
+  identical to the slot-loop engine given the same generators;
+  feedback-driven policies fall back to the slot loop per pattern);
 * :class:`~repro.engine.batch.BatchResult` — column-oriented results with
   summary statistics, convertible row-by-row to
   :class:`~repro.channel.simulator.WakeupResult`;
 * :class:`~repro.engine.campaign.Campaign` — shards large pattern sets across
-  ``concurrent.futures`` workers with ``SeedSequence``-derived child
-  generators and :class:`~repro.experiments.cache.FamilyCache` integration.
+  ``concurrent.futures`` workers through a single engine dispatch, with
+  :class:`~repro.experiments.cache.FamilyCache` integration.
 
 The scenario generators that feed this engine live in
 :mod:`repro.workloads`.
 """
 
-from repro.engine.batch import BatchResult, run_deterministic_batch
+from repro.engine.batch import BatchResult, run_deterministic_batch, run_randomized_batch
 from repro.engine.campaign import Campaign
 
-__all__ = ["BatchResult", "run_deterministic_batch", "Campaign"]
+__all__ = [
+    "BatchResult",
+    "run_deterministic_batch",
+    "run_randomized_batch",
+    "Campaign",
+]

@@ -1,17 +1,22 @@
-"""Vectorized batch execution of deterministic protocols.
+"""Vectorized batch execution: one chunked scan resolving B patterns.
 
-:func:`repro.channel.simulator.run_deterministic` resolves one wake-up
-pattern per call; every empirical worst-case estimate in the library is a
-maximum (or mean) over *many* patterns, so the per-call Python overhead —
-one :func:`numpy.add.at` per awake station per chunk, one result object per
-pattern — dominates at scale.  This module batches B patterns into a single
-chunked scan:
+The per-pattern engines in :mod:`repro.channel.simulator` resolve one wake-up
+pattern per call; every empirical estimate in the library is a maximum (or
+mean) over *many* patterns, so the per-call Python overhead — one
+:func:`numpy.add.at` per awake station per chunk for deterministic protocols,
+one ``transmit_probability`` call per awake station per *slot* for randomized
+policies — dominates at scale.  This module batches B patterns into a single
+chunked scan shared by both protocol kinds:
 
 1. every ``(pattern, station, wake_time)`` triple is flattened into aligned
    *pair* arrays;
-2. per chunk of the shared absolute timeline, one
+2. per chunk of the shared absolute timeline, one vectorized query yields the
+   transmit events of all pairs at once —
    :meth:`~repro.channel.protocols.DeterministicProtocol.batch_transmit_slots`
-   query yields the transmit slots of all pairs at once;
+   for deterministic protocols, or a Bernoulli sample over
+   :meth:`~repro.channel.protocols.RandomizedPolicy.transmit_probability_matrix`
+   (one draw block per pattern from its own child generator) for randomized
+   policies;
 3. transmitter counts are accumulated into a 2-D ``(rows × slots)`` array with
    a single :func:`numpy.bincount`, and each row's first count-1 slot (its
    first success) is extracted vectorized;
@@ -19,10 +24,15 @@ chunked scan:
    *unsolved* rows only.
 
 The results are identical — same ``solved``/``success_slot``/``winner``/
-``latency`` per pattern — to running :func:`run_deterministic` pattern by
-pattern (the property suite in ``tests/properties`` asserts this slot for
-slot); only the diagnostic ``slots_examined`` differs, because the batch scan
-shares chunk boundaries across rows.
+``latency`` per pattern — to running the per-pattern engine pattern by
+pattern.  For :func:`run_deterministic_batch` this is structural; for
+:func:`run_randomized_batch` it holds *bit for bit* given the same per-pattern
+child generators, because the batch consumes each pattern's stream in exactly
+the slot-loop's order: slots ascending, stations in pattern order within a
+slot, one uniform draw per awake station with positive probability.  The
+property suite in ``tests/properties`` asserts both equivalences slot for
+slot; only the diagnostic ``slots_examined`` of the deterministic batch
+differs, because the batch scan shares chunk boundaries across rows.
 
 Example
 -------
@@ -38,21 +48,35 @@ Example
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.channel.protocols import DeterministicProtocol
-from repro.channel.simulator import DEFAULT_MAX_SLOTS, WakeupResult
+from repro._util import RngLike, spawn_generators
+from repro.channel.protocols import DeterministicProtocol, RandomizedPolicy
+from repro.channel.simulator import DEFAULT_MAX_SLOTS, WakeupResult, run_randomized
 from repro.channel.wakeup import WakeupPattern
 
-__all__ = ["BatchResult", "run_deterministic_batch", "DEFAULT_BATCH_CHUNK"]
+__all__ = [
+    "BatchResult",
+    "run_deterministic_batch",
+    "run_randomized_batch",
+    "DEFAULT_BATCH_CHUNK",
+    "DEFAULT_RANDOMIZED_CHUNK",
+]
 
 #: Initial chunk length of the shared batch scan.  Smaller than the
 #: per-pattern engine's default because the per-chunk fixed cost is amortized
 #: over all B rows, while every extra slot costs work proportional to the
 #: number of *unsolved* rows — and most batches resolve within tens of slots.
 DEFAULT_BATCH_CHUNK = 128
+
+#: Initial chunk length of the randomized scan.  Expected randomized
+#: latencies are O(log n) (the whole point of Section 6), so a short first
+#: chunk avoids sampling Bernoulli matrices far past the typical success
+#: slot; pathological batches still grow geometrically.  Chunk layout never
+#: affects outcomes — only wasted work.
+DEFAULT_RANDOMIZED_CHUNK = 16
 
 #: Cap on rows × slots examined per chunk (bounds the bincount working set).
 _MAX_CELLS_PER_CHUNK = 1 << 22
@@ -82,9 +106,11 @@ class BatchResult:
     success_slot, winner, latency:
         Per-row outcome columns (``-1`` where unsolved).
     slots_examined:
-        Per-row count of slots the shared scan examined within the row's own
-        window (diagnostic; chunk-layout dependent, unlike the outcome
-        columns).
+        Per-row count of slots the engine examined.  For deterministic
+        batches this is the shared scan's window (diagnostic; chunk-layout
+        dependent, unlike the outcome columns); for randomized batches it
+        matches the slot-loop engine exactly (``latency + 1`` when solved,
+        the full horizon otherwise).
     """
 
     protocol: str
@@ -168,6 +194,45 @@ class BatchResult:
             "max_latency": float(lat.max()),
         }
 
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_results(
+        cls, results: Sequence[WakeupResult], *, protocol: str, n: int
+    ) -> "BatchResult":
+        """Assemble per-pattern :class:`WakeupResult` rows into columns.
+
+        Used by the randomized engine's feedback-driven path (which resolves
+        patterns through the slot-loop reference engine) and by anything else
+        that needs to lift scalar results into the columnar representation.
+        """
+        results = list(results)
+        return cls(
+            protocol=protocol,
+            n=n,
+            solved=np.asarray([r.solved for r in results], dtype=bool),
+            k=np.asarray([r.k for r in results], dtype=np.int64),
+            first_wake=np.asarray([r.first_wake for r in results], dtype=np.int64),
+            success_slot=np.asarray(
+                [-1 if r.success_slot is None else r.success_slot for r in results],
+                dtype=np.int64,
+            ),
+            winner=np.asarray(
+                [-1 if r.winner is None else r.winner for r in results], dtype=np.int64
+            ),
+            latency=np.asarray(
+                [-1 if r.latency is None else r.latency for r in results], dtype=np.int64
+            ),
+            slots_examined=np.asarray(
+                [r.slots_examined for r in results], dtype=np.int64
+            ),
+        )
+
+    @classmethod
+    def empty(cls, protocol) -> "BatchResult":
+        """Zero-row result for any protocol kind (``.describe()`` and ``.n``)."""
+        return cls.from_results([], protocol=protocol.describe(), n=protocol.n)
+
     @classmethod
     def concat(cls, results: Sequence["BatchResult"]) -> "BatchResult":
         """Concatenate shard results (in order) into one batch result."""
@@ -193,81 +258,63 @@ class BatchResult:
         )
 
 
-def _empty_result(protocol: DeterministicProtocol) -> BatchResult:
-    empty = np.empty(0, dtype=np.int64)
-    return BatchResult(
-        protocol=protocol.describe(),
-        n=protocol.n,
-        solved=np.empty(0, dtype=bool),
-        k=empty,
-        first_wake=empty.copy(),
-        success_slot=empty.copy(),
-        winner=empty.copy(),
-        latency=empty.copy(),
-        slots_examined=empty.copy(),
-    )
+# ---------------------------------------------------------------------------
+# The shared chunked scan
+# ---------------------------------------------------------------------------
 
 
-def run_deterministic_batch(
-    protocol: DeterministicProtocol,
+def _flatten_patterns(
     patterns: Sequence[WakeupPattern],
-    *,
-    max_slots: int = DEFAULT_MAX_SLOTS,
-    chunk: int = DEFAULT_BATCH_CHUNK,
-) -> BatchResult:
-    """Resolve B wake-up patterns against one protocol in a single scan.
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten (row, station, wake) triples into aligned pair arrays.
 
-    Parameters
-    ----------
-    protocol:
-        Any :class:`~repro.channel.protocols.DeterministicProtocol` over the
-        same universe size as every pattern.
-    patterns:
-        The batch; rows of the result align with this order.
-    max_slots:
-        Per-row horizon, measured from each row's own first wake-up (the same
-        convention as :func:`~repro.channel.simulator.run_deterministic`).
-    chunk:
-        Initial chunk length of the shared scan; chunks double as the scan
-        advances.
-
-    Returns
-    -------
-    BatchResult
-        Outcome columns identical to running ``run_deterministic`` per
-        pattern.
+    Pairs are emitted row-major and, within a row, in the pattern's own
+    station order — the order the slot-loop engine iterates stations in,
+    which the randomized engine's draw discipline relies on.
     """
-    if not isinstance(protocol, DeterministicProtocol):
-        raise TypeError(
-            f"expected a DeterministicProtocol, got {type(protocol).__name__}"
-        )
-    patterns = list(patterns)
-    if not patterns:
-        return _empty_result(protocol)
-    for pattern in patterns:
-        if pattern.n != protocol.n:
-            raise ValueError(
-                f"protocol universe n={protocol.n} does not match pattern n={pattern.n}"
-            )
-
     B = len(patterns)
-    # Flatten every (row, station, wake) triple into aligned pair arrays.
-    pair_row_list: List[int] = []
-    pair_station_list: List[int] = []
-    pair_wake_list: List[int] = []
-    for row, pattern in enumerate(patterns):
-        for station, wake in pattern.wake_times.items():
-            pair_row_list.append(row)
-            pair_station_list.append(station)
-            pair_wake_list.append(wake)
-    pair_row = np.asarray(pair_row_list, dtype=np.int64)
-    pair_station = np.asarray(pair_station_list, dtype=np.int64)
-    pair_wake = np.asarray(pair_wake_list, dtype=np.int64)
+    counts = np.fromiter((p.k for p in patterns), dtype=np.int64, count=B)
+    pair_row = np.repeat(np.arange(B, dtype=np.int64), counts)
+    pair_station = np.concatenate(
+        [np.fromiter(p.wake_times.keys(), np.int64, p.k) for p in patterns]
+    )
+    pair_wake = np.concatenate(
+        [np.fromiter(p.wake_times.values(), np.int64, p.k) for p in patterns]
+    )
+    return pair_row, pair_station, pair_wake
 
-    k = np.asarray([p.k for p in patterns], dtype=np.int64)
-    first_wake = np.asarray([p.first_wake for p in patterns], dtype=np.int64)
-    horizon = first_wake + int(max_slots)
 
+def _chunked_first_success_scan(
+    *,
+    emit: Callable[[np.ndarray, int, int], Tuple[np.ndarray, np.ndarray]],
+    pair_row: np.ndarray,
+    pair_station: np.ndarray,
+    pair_wake: np.ndarray,
+    first_wake: np.ndarray,
+    horizon: np.ndarray,
+    chunk: int,
+    cost_per_pair: bool = False,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Resolve every row's first singleton-transmitter slot in one shared scan.
+
+    ``emit(live_pairs, chunk_start, chunk_stop)`` produces the transmit events
+    of the given pairs within the chunk as two aligned int64 arrays
+    ``(pair_index, slots)`` — ``pair_index`` into the *global* pair arrays —
+    with each (pair, slot) combination appearing at most once.  Everything
+    else (2-D transmit counts, per-row first-success extraction, winner
+    recovery, horizon bookkeeping, chunk growth) is shared by the
+    deterministic and randomized engines.
+
+    ``cost_per_pair`` switches the chunk-length cap from rows × slots to
+    pairs × slots — the randomized engine materializes a dense probability
+    matrix over live pairs, so its working set scales with pairs.
+
+    Returns ``(solved, success_slot, winner, latency, slots_examined)``
+    columns; ``slots_examined`` accounts the scanned window per row (the
+    deterministic diagnostic — callers with different conventions overwrite
+    it).
+    """
+    B = int(first_wake.shape[0])
     solved = np.zeros(B, dtype=bool)
     success_slot = np.full(B, -1, dtype=np.int64)
     winner = np.full(B, -1, dtype=np.int64)
@@ -284,21 +331,26 @@ def run_deterministic_batch(
         if chunk_start >= scan_stop:
             break
         A = active_rows.shape[0]
-        # Keep the bincount working set bounded regardless of batch size.
-        length = min(chunk_len, max(16, _MAX_CELLS_PER_CHUNK // A))
+        # Keep the per-chunk working set bounded regardless of batch size.
+        if cost_per_pair:
+            weight = max(1, int(np.count_nonzero(~row_done[pair_row])))
+        else:
+            weight = A
+        length = min(chunk_len, max(16, _MAX_CELLS_PER_CHUNK // weight))
         chunk_stop = min(scan_stop, chunk_start + length)
         length = chunk_stop - chunk_start
 
         row_pos = np.full(B, -1, dtype=np.int64)
         row_pos[active_rows] = np.arange(A, dtype=np.int64)
 
-        live = (~row_done[pair_row]) & (pair_wake < chunk_stop) & (horizon[pair_row] > chunk_start)
+        live = (
+            (~row_done[pair_row])
+            & (pair_wake < chunk_stop)
+            & (horizon[pair_row] > chunk_start)
+        )
         live_pairs = np.flatnonzero(live)
         if live_pairs.size:
-            entry_pair, entry_slot = protocol.batch_transmit_slots(
-                pair_station[live_pairs], pair_wake[live_pairs], chunk_start, chunk_stop
-            )
-            entry_global = live_pairs[entry_pair]
+            entry_global, entry_slot = emit(live_pairs, chunk_start, chunk_stop)
             entry_pos = row_pos[pair_row[entry_global]]
             counts = np.bincount(
                 entry_pos * length + (entry_slot - chunk_start), minlength=A * length
@@ -354,9 +406,303 @@ def run_deterministic_batch(
         chunk_start = chunk_stop
         chunk_len = min(chunk_len * 2, _MAX_CHUNK)
 
+    return solved, success_slot, winner, latency, slots_examined
+
+
+def _validate_batch(protocol, patterns: Sequence[WakeupPattern]) -> List[WakeupPattern]:
+    patterns = list(patterns)
+    for pattern in patterns:
+        if pattern.n != protocol.n:
+            raise ValueError(
+                f"protocol universe n={protocol.n} does not match pattern n={pattern.n}"
+            )
+    return patterns
+
+
+# ---------------------------------------------------------------------------
+# Deterministic engine
+# ---------------------------------------------------------------------------
+
+
+def run_deterministic_batch(
+    protocol: DeterministicProtocol,
+    patterns: Sequence[WakeupPattern],
+    *,
+    max_slots: int = DEFAULT_MAX_SLOTS,
+    chunk: int = DEFAULT_BATCH_CHUNK,
+) -> BatchResult:
+    """Resolve B wake-up patterns against one protocol in a single scan.
+
+    Parameters
+    ----------
+    protocol:
+        Any :class:`~repro.channel.protocols.DeterministicProtocol` over the
+        same universe size as every pattern.
+    patterns:
+        The batch; rows of the result align with this order.
+    max_slots:
+        Per-row horizon, measured from each row's own first wake-up (the same
+        convention as :func:`~repro.channel.simulator.run_deterministic`).
+    chunk:
+        Initial chunk length of the shared scan; chunks double as the scan
+        advances.
+
+    Returns
+    -------
+    BatchResult
+        Outcome columns identical to running ``run_deterministic`` per
+        pattern.
+    """
+    if not isinstance(protocol, DeterministicProtocol):
+        raise TypeError(
+            f"expected a DeterministicProtocol, got {type(protocol).__name__}"
+        )
+    patterns = _validate_batch(protocol, patterns)
+    if not patterns:
+        return BatchResult.empty(protocol)
+
+    pair_row, pair_station, pair_wake = _flatten_patterns(patterns)
+    k = np.asarray([p.k for p in patterns], dtype=np.int64)
+    first_wake = np.asarray([p.first_wake for p in patterns], dtype=np.int64)
+    horizon = first_wake + int(max_slots)
+
+    def emit(live_pairs: np.ndarray, chunk_start: int, chunk_stop: int):
+        entry_pair, entry_slot = protocol.batch_transmit_slots(
+            pair_station[live_pairs], pair_wake[live_pairs], chunk_start, chunk_stop
+        )
+        return live_pairs[entry_pair], entry_slot
+
+    solved, success_slot, winner, latency, slots_examined = _chunked_first_success_scan(
+        emit=emit,
+        pair_row=pair_row,
+        pair_station=pair_station,
+        pair_wake=pair_wake,
+        first_wake=first_wake,
+        horizon=horizon,
+        chunk=chunk,
+    )
+
     return BatchResult(
         protocol=protocol.describe(),
         n=protocol.n,
+        solved=solved,
+        k=k,
+        first_wake=first_wake,
+        success_slot=success_slot,
+        winner=winner,
+        latency=latency,
+        slots_examined=slots_examined,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Randomized engine
+# ---------------------------------------------------------------------------
+
+
+def _resolve_generators(
+    rngs: Optional[Sequence[np.random.Generator]],
+    seed: RngLike,
+    count: int,
+) -> List[np.random.Generator]:
+    if rngs is not None:
+        rngs = list(rngs)
+        if len(rngs) != count:
+            raise ValueError(
+                f"rngs must provide one generator per pattern: got {len(rngs)} "
+                f"for {count} patterns"
+            )
+        return rngs
+    # Same namespace as Campaign's pre-shard spawn, so engine-level and
+    # campaign-level calls with the same seed produce identical outcomes.
+    return spawn_generators(seed, count, "campaign")
+
+
+def run_randomized_batch(
+    policy: RandomizedPolicy,
+    patterns: Sequence[WakeupPattern],
+    *,
+    rngs: Optional[Sequence[np.random.Generator]] = None,
+    seed: RngLike = None,
+    max_slots: int = DEFAULT_MAX_SLOTS,
+    chunk: int = DEFAULT_RANDOMIZED_CHUNK,
+) -> BatchResult:
+    """Resolve B wake-up patterns against one randomized policy in one scan.
+
+    Each pattern's Bernoulli decisions are drawn from its *own* generator —
+    either supplied via ``rngs`` or spawned from ``seed`` with
+    ``SeedSequence.spawn`` (one child per pattern, derived before any
+    chunking) — so pattern ``i``'s outcome is independent of batch size,
+    shard size and chunk layout.  Given the same per-pattern generators the
+    outcome columns are bit-for-bit identical to
+    :func:`~repro.channel.simulator.run_randomized` per pattern: the batch
+    consumes each stream in the slot-loop's exact order (slots ascending,
+    stations in pattern order, one uniform draw per awake station with
+    positive probability).
+
+    Oblivious policies are resolved from their
+    :meth:`~repro.channel.protocols.RandomizedPolicy.transmit_probability_matrix`
+    with the same chunked bincount scan as the deterministic engine;
+    feedback-driven policies
+    (:attr:`~repro.channel.protocols.RandomizedPolicy.feedback_driven`) fall
+    back to the slot-loop reference engine per pattern, preserving their
+    feedback semantics exactly.
+
+    Parameters
+    ----------
+    policy:
+        Any :class:`~repro.channel.protocols.RandomizedPolicy` over the same
+        universe size as every pattern.
+    patterns:
+        The batch; rows of the result align with this order.
+    rngs:
+        Optional per-pattern generators (one per pattern, consumed in order).
+    seed:
+        Base seed used to spawn per-pattern child generators when ``rngs`` is
+        not given; the spawn matches :class:`~repro.engine.campaign.Campaign`.
+    max_slots:
+        Per-row horizon, measured from each row's own first wake-up.
+    chunk:
+        Initial chunk length of the shared scan; chunks double as the scan
+        advances.
+
+    Returns
+    -------
+    BatchResult
+        Outcome columns identical to running ``run_randomized`` per pattern
+        with the same generators (including ``slots_examined``).
+    """
+    if not isinstance(policy, RandomizedPolicy):
+        raise TypeError(f"expected a RandomizedPolicy, got {type(policy).__name__}")
+    patterns = _validate_batch(policy, patterns)
+    if not patterns:
+        return BatchResult.empty(policy)
+    generators = _resolve_generators(rngs, seed, len(patterns))
+
+    if policy.feedback_driven:
+        # Probabilities react to channel signals, so slots cannot be sampled
+        # ahead of the outcomes they depend on: resolve each pattern with the
+        # slot-loop reference engine and its own child generator.
+        return BatchResult.from_results(
+            [
+                run_randomized(policy, pattern, rng=gen, max_slots=max_slots)
+                for pattern, gen in zip(patterns, generators)
+            ],
+            protocol=policy.describe(),
+            n=policy.n,
+        )
+
+    B = len(patterns)
+    pair_row, pair_station, pair_wake = _flatten_patterns(patterns)
+    k = np.asarray([p.k for p in patterns], dtype=np.int64)
+    first_wake = np.asarray([p.first_wake for p in patterns], dtype=np.int64)
+    horizon = first_wake + int(max_slots)
+
+    def emit(live_pairs: np.ndarray, chunk_start: int, chunk_stop: int):
+        slots = np.arange(chunk_start, chunk_stop, dtype=np.int64)
+        live_wake = pair_wake[live_pairs]
+        probabilities = np.asarray(
+            policy.transmit_probability_matrix(
+                pair_station[live_pairs], live_wake, chunk_start, chunk_stop
+            ),
+            dtype=np.float64,
+        )
+        if probabilities.shape != (live_pairs.size, slots.size):
+            raise ValueError(
+                f"{policy.describe()} returned a probability matrix of shape "
+                f"{probabilities.shape}, expected {(live_pairs.size, slots.size)}"
+            )
+        p_min = float(probabilities.min()) if probabilities.size else 0.0
+        p_max = float(probabilities.max()) if probabilities.size else 0.0
+        if p_min < 0.0 or p_max > 1.0:
+            raise ValueError(
+                f"{policy.describe()} returned probabilities outside [0, 1]"
+            )
+        rows_of_live = pair_row[live_pairs]
+
+        # Fast path: when every live pair is awake for the whole chunk, no
+        # row's horizon intersects it, every probability is positive, and
+        # rows contribute equal pair counts (the shape of every simultaneous
+        # or fully-woken batch), each row's draw block is one contiguous
+        # ``gen.random`` fill in (slot, station) row-major order — no cell
+        # enumeration, no regrouping.
+        L = slots.size
+        counts_live = np.bincount(rows_of_live, minlength=B)
+        live_row_ids = np.flatnonzero(counts_live)
+        k0 = live_pairs.size // live_row_ids.size
+        if (
+            p_min > 0.0
+            and live_pairs.size == k0 * live_row_ids.size
+            and int(counts_live[live_row_ids].max()) == k0
+            and int(live_wake.max()) <= chunk_start
+            and int(horizon[live_row_ids].min()) >= chunk_stop
+        ):
+            draws = np.empty((live_row_ids.size, L * k0), dtype=np.float64)
+            for r, row in enumerate(live_row_ids):
+                generators[int(row)].random(out=draws[r])
+            hits = draws.reshape(-1, L, k0) < probabilities.reshape(
+                -1, k0, L
+            ).transpose(0, 2, 1)
+            row_idx, slot_idx, j_idx = np.nonzero(hits)
+            return (
+                live_pairs[row_idx * k0 + j_idx],
+                chunk_start + slot_idx,
+            )
+        # A cell consumes one uniform draw exactly when the slot-loop engine
+        # would: the station is awake, the slot is inside the row's horizon,
+        # and the probability is positive.  Built directly in (slot × pair)
+        # layout so that C-order enumeration yields cells in (slot,
+        # pair-position) order — within any one row exactly the slot loop's
+        # draw order (slots ascending, stations in pattern order).
+        drawable = (
+            (slots[:, None] >= live_wake[None, :])
+            & (slots[:, None] < horizon[rows_of_live][None, :])
+            & (probabilities.T > 0.0)
+        )
+        empty = np.empty(0, dtype=np.int64)
+        cell_flat = np.flatnonzero(drawable)
+        if cell_flat.size == 0:
+            return empty, empty
+        m = live_pairs.size
+        cell_pos = cell_flat % m
+        cell_slot = cell_flat // m
+        cell_row = rows_of_live[cell_pos]
+        # Group the cells by row without disturbing their in-row order, then
+        # fill each row's group from its own generator in one block draw —
+        # the uniforms land exactly where the slot loop would have drawn them.
+        order = np.argsort(cell_row, kind="stable")
+        draws_per_row = np.bincount(cell_row, minlength=B)
+        grouped = np.empty(cell_flat.size, dtype=np.float64)
+        offset = 0
+        for row in np.flatnonzero(draws_per_row):
+            count = int(draws_per_row[row])
+            grouped[offset : offset + count] = generators[row].random(count)
+            offset += count
+        draws = np.empty_like(grouped)
+        draws[order] = grouped
+        hits = draws < probabilities[cell_pos, cell_slot]
+        if not hits.any():
+            return empty, empty
+        return live_pairs[cell_pos[hits]], chunk_start + cell_slot[hits]
+
+    solved, success_slot, winner, latency, _ = _chunked_first_success_scan(
+        emit=emit,
+        pair_row=pair_row,
+        pair_station=pair_station,
+        pair_wake=pair_wake,
+        first_wake=first_wake,
+        horizon=horizon,
+        chunk=chunk,
+        cost_per_pair=True,
+    )
+
+    # Match the slot-loop engine's accounting exactly: a solved run examines
+    # latency + 1 slots, an unsolved run the full horizon.
+    slots_examined = np.where(solved, latency + 1, np.int64(max_slots))
+
+    return BatchResult(
+        protocol=policy.describe(),
+        n=policy.n,
         solved=solved,
         k=k,
         first_wake=first_wake,

@@ -2,18 +2,26 @@
 
 A *campaign* is the unit of empirical confidence: thousands of wake-up
 patterns pushed through one protocol.  :class:`Campaign` cuts the pattern set
-into shards, resolves each shard with
-:func:`~repro.engine.batch.run_deterministic_batch` (or, for randomized
-policies, the slot-loop engine with an independent per-pattern generator),
-and reassembles the per-shard columns in input order.
+into shards, resolves each shard with the batched engine for the protocol's
+kind — :func:`~repro.engine.batch.run_deterministic_batch` for deterministic
+protocols, :func:`~repro.engine.batch.run_randomized_batch` for randomized
+policies — and reassembles the per-shard columns in input order.  Both
+engines share one chunked scan, so the campaign has a single execution path;
+the only per-kind difference is that randomized shards carry their patterns'
+child generators.
 
 Two invariants make campaigns reproducible and composable:
 
 * **Sharding never changes results.**  Deterministic batches are sharding-
   oblivious by construction; for randomized policies every pattern gets its
   own child generator derived with ``numpy.random.SeedSequence.spawn`` (see
-  :mod:`repro._util`), so the outcome of pattern ``i`` does not depend on the
-  shard size or worker count.
+  :mod:`repro._util`) *before* sharding, so the outcome of pattern ``i`` does
+  not depend on the shard size or worker count.  One caveat: a
+  feedback-driven policy that draws from its *own* internal generator inside
+  ``observe`` (binary exponential backoff, tree splitting) shares that one
+  stream across patterns, so its outcomes are reproducible only with serial
+  execution (``workers <= 1``) — concurrent shards consume the policy stream
+  in scheduling order.
 * **Construction cost is shared.**  The selective-family constructions behind
   Scenario A/B protocols are served from a
   :class:`~repro.experiments.cache.FamilyCache`
@@ -35,18 +43,26 @@ Example
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro._util import RngLike, spawn_generators
 from repro.channel.protocols import DeterministicProtocol, RandomizedPolicy
-from repro.channel.simulator import DEFAULT_MAX_SLOTS, run_randomized
+from repro.channel.simulator import DEFAULT_MAX_SLOTS
 from repro.channel.wakeup import WakeupPattern
-from repro.engine.batch import DEFAULT_BATCH_CHUNK, BatchResult, run_deterministic_batch
+from repro.engine.batch import (
+    BatchResult,
+    run_deterministic_batch,
+    run_randomized_batch,
+)
 
 __all__ = ["Campaign"]
+
+#: One shard job: the patterns plus their per-pattern generators (``None``
+#: entries for deterministic protocols, which need no randomness).
+_Shard = Tuple[List[WakeupPattern], List[Optional[np.random.Generator]]]
 
 
 @dataclass
@@ -56,12 +72,15 @@ class Campaign:
     Parameters
     ----------
     protocol:
-        A :class:`~repro.channel.protocols.DeterministicProtocol` (resolved by
-        the vectorized batch engine) or a
-        :class:`~repro.channel.protocols.RandomizedPolicy` (resolved by the
-        slot-loop engine, one independent child generator per pattern).
+        A :class:`~repro.channel.protocols.DeterministicProtocol` or a
+        :class:`~repro.channel.protocols.RandomizedPolicy`; either kind is
+        resolved by its batched engine (one vectorized chunked scan per
+        shard).
     max_slots, chunk:
-        Forwarded to the underlying engines.
+        Forwarded to the underlying engines; ``chunk=None`` (the default)
+        lets each engine use its own initial chunk length (the randomized
+        scan starts shorter because expected randomized latencies are
+        logarithmic).
     shard_size:
         Number of patterns per shard.  Sharding only affects scheduling —
         results are identical for every shard size.
@@ -72,13 +91,13 @@ class Campaign:
         requiring picklable protocols.
     seed:
         Base seed for randomized policies; each pattern's generator is derived
-        from it via ``SeedSequence.spawn``.  Ignored for deterministic
-        protocols.
+        from it via ``SeedSequence.spawn`` before sharding.  Ignored for
+        deterministic protocols.
     """
 
     protocol: object
     max_slots: int = DEFAULT_MAX_SLOTS
-    chunk: int = DEFAULT_BATCH_CHUNK
+    chunk: Optional[int] = None
     shard_size: int = 256
     workers: int = 0
     seed: RngLike = None
@@ -120,64 +139,36 @@ class Campaign:
 
     # -- execution -----------------------------------------------------------
 
-    def _shards(self, patterns: List[WakeupPattern]) -> List[List[WakeupPattern]]:
-        return [
-            patterns[i : i + self.shard_size]
-            for i in range(0, len(patterns), self.shard_size)
-        ]
-
     def run(self, patterns: Sequence[WakeupPattern]) -> BatchResult:
         """Resolve every pattern; rows align with the input order."""
         patterns = list(patterns)
-        if isinstance(self.protocol, DeterministicProtocol):
-            if not patterns:
-                return run_deterministic_batch(self.protocol, patterns)
-            runner = self._run_deterministic_shard
-            jobs = self._shards(patterns)
-        else:
-            if not patterns:
-                raise ValueError("a randomized campaign needs at least one pattern")
+        if not patterns:
+            return BatchResult.empty(self.protocol)
+        if isinstance(self.protocol, RandomizedPolicy):
             # One child generator per pattern, derived before sharding so the
             # stream assignment is independent of shard_size and workers.
-            generators = spawn_generators(self.seed, len(patterns), "campaign")
-            paired = list(zip(patterns, generators))
-            runner = self._run_randomized_shard
-            jobs = [
-                paired[i : i + self.shard_size]
-                for i in range(0, len(paired), self.shard_size)
-            ]
+            generators: List[Optional[np.random.Generator]] = list(
+                spawn_generators(self.seed, len(patterns), "campaign")
+            )
+        else:
+            generators = [None] * len(patterns)
+        jobs: List[_Shard] = [
+            (patterns[i : i + self.shard_size], generators[i : i + self.shard_size])
+            for i in range(0, len(patterns), self.shard_size)
+        ]
         if self.workers > 1 and len(jobs) > 1:
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                results = list(pool.map(runner, jobs))
+                results = list(pool.map(self._run_shard, jobs))
         else:
-            results = [runner(job) for job in jobs]
+            results = [self._run_shard(job) for job in jobs]
         return BatchResult.concat(results)
 
-    def _run_deterministic_shard(self, shard: List[WakeupPattern]) -> BatchResult:
-        return run_deterministic_batch(
-            self.protocol, shard, max_slots=self.max_slots, chunk=self.chunk
-        )
-
-    def _run_randomized_shard(self, shard) -> BatchResult:
-        outcomes = [
-            run_randomized(self.protocol, pattern, rng=gen, max_slots=self.max_slots)
-            for pattern, gen in shard
-        ]
-        return BatchResult(
-            protocol=self.protocol.describe(),
-            n=self.protocol.n,
-            solved=np.asarray([r.solved for r in outcomes], dtype=bool),
-            k=np.asarray([r.k for r in outcomes], dtype=np.int64),
-            first_wake=np.asarray([r.first_wake for r in outcomes], dtype=np.int64),
-            success_slot=np.asarray(
-                [-1 if r.success_slot is None else r.success_slot for r in outcomes],
-                dtype=np.int64,
-            ),
-            winner=np.asarray(
-                [-1 if r.winner is None else r.winner for r in outcomes], dtype=np.int64
-            ),
-            latency=np.asarray(
-                [-1 if r.latency is None else r.latency for r in outcomes], dtype=np.int64
-            ),
-            slots_examined=np.asarray([r.slots_examined for r in outcomes], dtype=np.int64),
-        )
+    def _run_shard(self, job: _Shard) -> BatchResult:
+        """The single engine dispatch: one batched call per shard."""
+        shard, rngs = job
+        options = {"max_slots": self.max_slots}
+        if self.chunk is not None:
+            options["chunk"] = self.chunk
+        if isinstance(self.protocol, RandomizedPolicy):
+            return run_randomized_batch(self.protocol, shard, rngs=rngs, **options)
+        return run_deterministic_batch(self.protocol, shard, **options)

@@ -37,13 +37,9 @@ from repro.baselines import (
 from repro.channel.adversary import (
     AdaptiveLowerBoundAdversary,
     family_boundary_pattern,
-    simultaneous_pattern,
-    staggered_pattern,
-    uniform_random_pattern,
     window_boundary_pattern,
 )
-from repro.channel.protocols import DeterministicProtocol, RandomizedPolicy
-from repro.channel.simulator import run_deterministic, run_randomized
+from repro.channel.simulator import run_deterministic
 from repro.channel.wakeup import WakeupPattern
 from repro.core.local_clock import LocalClockScenarioC, LocalClockWakeup
 from repro.core.lower_bounds import (
@@ -70,9 +66,16 @@ from repro.core.waking_matrix import (
 from repro.combinatorics.verification import monte_carlo_selectivity
 from repro.experiments.cache import FamilyCache, shared_cache
 from repro.experiments.config import ExperimentScale, QUICK
-from repro.experiments.runner import ExperimentResult, measure_latency, worst_latency
+from repro.experiments.runner import (
+    ExperimentResult,
+    capped_latencies,
+    measure_latency,
+    resolve_batch,
+    worst_latency,
+)
 from repro.reporting.figures import ascii_line_plot, render_matrix_occupancy, render_trace
 from repro.reporting.tables import TextTable
+from repro.workloads import WorkloadSuite
 
 __all__ = [
     "EXPERIMENTS",
@@ -96,6 +99,22 @@ __all__ = [
 # ---------------------------------------------------------------------------
 
 
+#: Lazily constructed view onto the workload registry: every pattern an
+#: experiment samples is drawn through this suite, so pattern generation has
+#: exactly one code path (shared with ``repro workloads`` and any plugin).
+#: Built on first use, not at import time — constructing the default suite
+#: scans ``repro.workloads`` entry points, which must not run as a side
+#: effect of ``import repro``.
+_suite_instance: Optional[WorkloadSuite] = None
+
+
+def _suite() -> WorkloadSuite:
+    global _suite_instance
+    if _suite_instance is None:
+        _suite_instance = WorkloadSuite()
+    return _suite_instance
+
+
 def _pattern_batch(
     n: int,
     k: int,
@@ -109,39 +128,38 @@ def _pattern_batch(
 ) -> List[WakeupPattern]:
     """The standard batch of wake-up patterns used by the scenario sweeps.
 
-    Besides random subsets, the batch always contains the structured
-    adversarial choice "the k stations with the latest round-robin turns, all
-    waking together": it prevents the interleaved round-robin arm from ending
-    the run by luck, so the measured worst case reflects the selective-arm
-    behaviour whose growth the experiments are about.
+    All rows are drawn through :class:`repro.workloads.WorkloadSuite` — the
+    same registry the CLI and campaigns sample from.  Besides random subsets,
+    the batch always contains the structured adversarial choice "the k
+    stations with the latest round-robin turns, all waking together": it
+    prevents the interleaved round-robin arm from ending the run by luck, so
+    the measured worst case reflects the selective-arm behaviour whose growth
+    the experiments are about.
     """
     window = window or max(16, 4 * k)
     late_turn_stations = list(range(n - k + 1, n + 1))
     patterns: List[WakeupPattern] = [
-        simultaneous_pattern(n, k, start=start, stations=late_turn_stations),
-        staggered_pattern(n, k, start=start, gap=1, stations=late_turn_stations),
+        _suite().get("simultaneous").draw(n, k, start=start, stations=late_turn_stations),
+        _suite().get("staggered").draw(n, k, start=start, gap=1, stations=late_turn_stations),
     ]
-    for _ in range(scale.seeds):
-        if include_simultaneous:
-            patterns.append(simultaneous_pattern(n, k, start=start, rng=rng))
-        if include_staggered:
-            patterns.append(staggered_pattern(n, k, start=start, gap=1, rng=rng))
-        for _ in range(scale.patterns_per_seed):
-            patterns.append(uniform_random_pattern(n, k, start=start, window=window, rng=rng))
+    if include_simultaneous:
+        patterns += _suite().generate(
+            "simultaneous", n=n, k=k, batch=scale.seeds, seed=rng, start=start
+        )
+    if include_staggered:
+        patterns += _suite().generate(
+            "staggered", n=n, k=k, batch=scale.seeds, seed=rng, gap=1, start=start
+        )
+    patterns += _suite().generate(
+        "uniform",
+        n=n,
+        k=k,
+        batch=scale.seeds * scale.patterns_per_seed,
+        seed=rng,
+        start=start,
+        window=window,
+    )
     return patterns
-
-
-def _safe_latency(protocol, pattern: WakeupPattern, *, max_slots: int, rng) -> Tuple[int, bool]:
-    """Latency of one run, returning ``(max_slots, False)`` when unsolved."""
-    if isinstance(protocol, DeterministicProtocol):
-        result = run_deterministic(protocol, pattern, max_slots=max_slots)
-    elif isinstance(protocol, RandomizedPolicy):
-        result = run_randomized(protocol, pattern, rng=rng, max_slots=max_slots)
-    else:  # pragma: no cover - defensive
-        raise TypeError(f"unsupported protocol type {type(protocol).__name__}")
-    if result.solved:
-        return result.require_solved(), True
-    return max_slots, False
 
 
 # ---------------------------------------------------------------------------
@@ -405,7 +423,9 @@ def experiment_e4_lower_bound(
         # whose turns come last, so the first k-1... n-k turns are wasted.
         worst_stations = list(range(n - k + 1, n + 1))
         exact = run_deterministic(
-            RoundRobin(n), simultaneous_pattern(n, k, stations=worst_stations), max_slots=scale.max_slots
+            RoundRobin(n),
+            _suite().get("simultaneous").draw(n, k, stations=worst_stations),
+            max_slots=scale.max_slots,
         ).require_solved()
         exact_points.append((n, k, float(exact + 1)))  # +1: latency t-s counts from 0
         result.rows.append(
@@ -536,10 +556,9 @@ def experiment_e6_randomized(
     rpd_unknown_points: List[Tuple[int, int, float]] = []
     for n in scale.n_values:
         for k in (2, 8, min(32, n)):
-            patterns = [
-                uniform_random_pattern(n, k, window=max(4, 2 * k), rng=rng)
-                for _ in range(repetitions)
-            ]
+            patterns = _suite().generate(
+                "uniform", n=n, k=k, batch=repetitions, seed=rng, window=max(4, 2 * k)
+            )
             means = {}
             for name, policy in (
                 ("rpd_n", RepeatedProbabilityDecrease(n)),
@@ -798,14 +817,16 @@ def experiment_e9_baselines(
             "tree_splitting": TreeSplitting(n, rng=seed),
         }
         for pattern_name, pattern in (
-            ("simultaneous", simultaneous_pattern(n, k, rng=rng)),
-            ("staggered", staggered_pattern(n, k, gap=2, rng=rng)),
+            ("simultaneous", _suite().get("simultaneous").draw(n, k, rng=rng)),
+            ("staggered", _suite().get("staggered").draw(n, k, gap=2, rng=rng)),
         ):
             latencies: Dict[str, float] = {}
             for name, protocol in protocols.items():
-                latency, solved = _safe_latency(
-                    protocol, pattern, max_slots=scale.max_slots, rng=rng
-                )
+                outcome = resolve_batch(
+                    protocol, [pattern], max_slots=scale.max_slots, rng=rng
+                )[0]
+                solved = outcome.solved
+                latency = outcome.latency if solved else scale.max_slots
                 latencies[name] = latency
                 result.rows.append(
                     {
@@ -984,13 +1005,12 @@ def experiment_e11_global_vs_local_clock(
         global_c = WakeupProtocol(n, seed=seed)
         local_c = LocalClockScenarioC(n, seed=seed)
         patterns = [
-            staggered_pattern(n, k, gap=1, stations=list(range(n - k + 1, n + 1))),
-            staggered_pattern(n, k, gap=3, rng=rng),
+            _suite().get("staggered").draw(n, k, gap=1, stations=list(range(n - k + 1, n + 1))),
+            _suite().get("staggered").draw(n, k, gap=3, rng=rng),
         ]
-        patterns += [
-            uniform_random_pattern(n, k, window=4 * k, rng=rng)
-            for _ in range(scale.patterns_per_seed)
-        ]
+        patterns += _suite().generate(
+            "uniform", n=n, k=k, batch=scale.patterns_per_seed, seed=rng, window=4 * k
+        )
         latencies = {}
         for name, protocol in (
             ("global_b", global_b),
@@ -998,13 +1018,11 @@ def experiment_e11_global_vs_local_clock(
             ("global_c", global_c),
             ("local_c", local_c),
         ):
-            worst = 0
-            for pattern in patterns:
-                latency, solved = _safe_latency(
-                    protocol, pattern, max_slots=scale.max_slots, rng=rng
-                )
-                worst = max(worst, latency if solved else scale.max_slots)
-            latencies[name] = worst
+            # One batched engine call per protocol; unsolved rows count as
+            # the horizon, exactly like the old per-pattern loop.
+            latencies[name] = max(
+                capped_latencies(protocol, patterns, max_slots=scale.max_slots, rng=rng)
+            )
         table.add_row(
             [k, latencies["global_b"], latencies["local_b"], latencies["global_c"], latencies["local_c"]]
         )

@@ -14,13 +14,19 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from repro._util import RngLike, as_generator
+from repro._util import RngLike
 from repro.analysis.certificates import BoundCertificate
 from repro.channel.protocols import DeterministicProtocol, RandomizedPolicy
-from repro.channel.simulator import run_randomized
 from repro.channel.wakeup import WakeupPattern
 
-__all__ = ["ExperimentResult", "measure_latency", "worst_latency", "mean_latency"]
+__all__ = [
+    "ExperimentResult",
+    "resolve_batch",
+    "capped_latencies",
+    "measure_latency",
+    "worst_latency",
+    "mean_latency",
+]
 
 
 @dataclass
@@ -79,6 +85,55 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
+def resolve_batch(
+    protocol,
+    patterns: Sequence[WakeupPattern],
+    *,
+    max_slots: int = 1_000_000,
+    rng: RngLike = None,
+):
+    """Resolve a pattern batch through the engine for the protocol's kind.
+
+    This is the experiments' single dispatch onto :mod:`repro.engine`:
+    deterministic protocols route through
+    :func:`~repro.engine.run_deterministic_batch`, randomized policies
+    through :func:`~repro.engine.run_randomized_batch` (one
+    ``SeedSequence``-spawned child generator per pattern, derived from
+    ``rng``).  Returns the columnar :class:`~repro.engine.BatchResult`.
+    """
+    patterns = list(patterns)
+    if isinstance(protocol, DeterministicProtocol):
+        from repro.engine import run_deterministic_batch
+
+        return run_deterministic_batch(protocol, patterns, max_slots=max_slots)
+    if isinstance(protocol, RandomizedPolicy):
+        from repro.engine import run_randomized_batch
+
+        return run_randomized_batch(protocol, patterns, seed=rng, max_slots=max_slots)
+    raise TypeError(f"unsupported protocol type {type(protocol).__name__}")
+
+
+def capped_latencies(
+    protocol,
+    patterns: Sequence[WakeupPattern],
+    *,
+    max_slots: int = 1_000_000,
+    rng: RngLike = None,
+) -> List[int]:
+    """Per-pattern latency, with unsolved rows capped at ``max_slots``.
+
+    The forgiving counterpart to :func:`measure_latency` for comparisons that
+    include protocols allowed to time out (baseline tables, lower-bound
+    probes): instead of raising on an unsolved row it records the horizon as
+    the latency, which keeps maxima and ratios well-defined.
+    """
+    batch = resolve_batch(protocol, patterns, max_slots=max_slots, rng=rng)
+    return [
+        int(latency) if solved else int(max_slots)
+        for solved, latency in zip(batch.solved, batch.latency)
+    ]
+
+
 def measure_latency(
     protocol,
     patterns: Sequence[WakeupPattern],
@@ -88,27 +143,14 @@ def measure_latency(
 ) -> List[int]:
     """Latency (slots from first wake-up to first success) for each pattern.
 
-    Deterministic protocols route through the vectorized batch engine
-    (:func:`repro.engine.run_deterministic_batch` — bit-identical outcomes to
-    per-pattern simulation, resolved in one shared scan); randomized policies
-    use the slot-loop engine with a shared generator.  A run that does not
-    solve wake-up within the horizon raises, because every protocol in the
-    library is supposed to succeed and a silent truncation would corrupt the
-    tables.
+    Both protocol kinds route through the vectorized batch engine via
+    :func:`resolve_batch` (bit-identical outcomes to per-pattern simulation,
+    resolved in one shared scan).  A run that does not solve wake-up within
+    the horizon raises, because every protocol in the library is supposed to
+    succeed and a silent truncation would corrupt the tables.
     """
-    patterns = list(patterns)
-    if isinstance(protocol, DeterministicProtocol):
-        from repro.engine import run_deterministic_batch
-
-        batch = run_deterministic_batch(protocol, patterns, max_slots=max_slots)
-        return [int(latency) for latency in batch.require_all_solved()]
-    if isinstance(protocol, RandomizedPolicy):
-        gen = as_generator(rng)
-        return [
-            run_randomized(protocol, pattern, rng=gen, max_slots=max_slots).require_solved()
-            for pattern in patterns
-        ]
-    raise TypeError(f"unsupported protocol type {type(protocol).__name__}")
+    batch = resolve_batch(protocol, patterns, max_slots=max_slots, rng=rng)
+    return [int(latency) for latency in batch.require_all_solved()]
 
 
 def worst_latency(

@@ -10,8 +10,10 @@ those shapes:
   adversaries, density sweeps), complementing the structured attacks in
   :mod:`repro.channel.adversary`;
 * :mod:`repro.workloads.suite` — the registry (:data:`WORKLOADS`,
-  :func:`register_workload`) and the :class:`WorkloadSuite` façade yielding
-  reproducible batches from ``(name, n, k, seed)``.
+  :func:`register_workload`, plus :func:`load_entry_point_workloads` pulling
+  third-party generators from ``repro.workloads`` package entry points) and
+  the :class:`WorkloadSuite` façade yielding reproducible batches from
+  ``(name, n, k, seed)``.
 
 Batches from the suite feed the batch engine directly:
 
@@ -34,13 +36,20 @@ from repro.workloads.generators import (
     duty_cycle_pattern,
     heavy_tailed_pattern,
 )
-from repro.workloads.suite import WORKLOADS, Workload, WorkloadSuite, register_workload
+from repro.workloads.suite import (
+    WORKLOADS,
+    Workload,
+    WorkloadSuite,
+    load_entry_point_workloads,
+    register_workload,
+)
 
 __all__ = [
     "Workload",
     "WorkloadSuite",
     "WORKLOADS",
     "register_workload",
+    "load_entry_point_workloads",
     "heavy_tailed_pattern",
     "duty_cycle_pattern",
     "churn_burst_pattern",

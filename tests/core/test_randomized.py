@@ -16,6 +16,41 @@ from repro.core.randomized import (
 )
 
 
+class TestNativeProbabilityMatrices:
+    """The closed-form matrices must agree entrywise with the scalar default."""
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            RepeatedProbabilityDecrease(16),
+            RepeatedProbabilityDecrease(16, k=4),
+            DecayPolicy(16),
+            DecayPolicy(16, period=3),
+            FixedProbabilityPolicy(16, 0.3),
+        ],
+        ids=lambda p: p.describe(),
+    )
+    @pytest.mark.parametrize("start,stop", [(0, 24), (5, 37), (7, 7)])
+    def test_matches_scalar_derivation(self, policy, start, stop):
+        from repro.channel.protocols import RandomizedPolicy
+
+        stations = np.array([1, 4, 9, 16], dtype=np.int64)
+        wakes = np.array([0, 3, 10, 30], dtype=np.int64)
+        native = policy.transmit_probability_matrix(stations, wakes, start, stop)
+        generic = RandomizedPolicy.transmit_probability_matrix(
+            policy, stations, wakes, start, stop
+        )
+        assert native.shape == (len(stations), max(0, stop - start))
+        np.testing.assert_array_equal(native, generic)
+
+    def test_entries_before_wake_are_zero(self):
+        matrix = DecayPolicy(16).transmit_probability_matrix(
+            np.array([2]), np.array([6]), 0, 10
+        )
+        np.testing.assert_array_equal(matrix[0, :6], 0.0)
+        assert (matrix[0, 6:] > 0).all()
+
+
 class TestRepeatedProbabilityDecrease:
     def test_period_from_n_or_k(self):
         assert RepeatedProbabilityDecrease(256).period == 8

@@ -7,8 +7,9 @@ import pytest
 
 from repro.channel.simulator import WakeupResult, run_deterministic
 from repro.channel.wakeup import WakeupPattern
+from repro.core.randomized import FixedProbabilityPolicy, RepeatedProbabilityDecrease
 from repro.core.round_robin import RoundRobin
-from repro.engine import BatchResult, run_deterministic_batch
+from repro.engine import BatchResult, run_deterministic_batch, run_randomized_batch
 
 
 @pytest.fixture
@@ -51,6 +52,75 @@ class TestRunDeterministicBatch:
             reference = run_deterministic(RoundRobin(16), pattern)
             assert result.success_slot[i] == reference.success_slot
             assert result.latency[i] == reference.latency
+
+
+class TestRunRandomizedBatch:
+    def test_empty_batch(self):
+        result = run_randomized_batch(RepeatedProbabilityDecrease(8), [])
+        assert len(result) == 0
+        assert result.solved_fraction == 1.0
+
+    def test_rejects_deterministic_protocols(self):
+        with pytest.raises(TypeError):
+            run_randomized_batch(RoundRobin(8), [])
+
+    def test_rejects_mismatched_universe(self):
+        with pytest.raises(ValueError, match="does not match"):
+            run_randomized_batch(
+                RepeatedProbabilityDecrease(8), [WakeupPattern(16, {3: 0})]
+            )
+
+    def test_rejects_wrong_generator_count(self):
+        with pytest.raises(ValueError, match="one generator per pattern"):
+            run_randomized_batch(
+                RepeatedProbabilityDecrease(8),
+                [WakeupPattern(8, {3: 0})],
+                rngs=[np.random.default_rng(0), np.random.default_rng(1)],
+            )
+
+    def test_seeded_call_matches_campaign(self):
+        # Engine-level seed spawning uses the same namespace as Campaign, so
+        # the two entry points agree on every outcome.
+        from repro.engine import Campaign
+        from repro.workloads import WorkloadSuite
+
+        policy = RepeatedProbabilityDecrease(64)
+        patterns = WorkloadSuite().generate("uniform", n=64, k=6, batch=20, seed=4)
+        direct = run_randomized_batch(policy, patterns, seed=123)
+        campaign = Campaign(policy, seed=123, shard_size=6).run(patterns)
+        np.testing.assert_array_equal(direct.success_slot, campaign.success_slot)
+        np.testing.assert_array_equal(direct.winner, campaign.winner)
+        np.testing.assert_array_equal(direct.latency, campaign.latency)
+
+    def test_rejects_bad_probability_matrix_shape(self):
+        class Misshapen(FixedProbabilityPolicy):
+            def transmit_probability_matrix(self, stations, wakes, start, stop):
+                return np.zeros((len(stations), 1))
+
+        with pytest.raises(ValueError, match="probability matrix of shape"):
+            run_randomized_batch(
+                Misshapen(8, 0.5), [WakeupPattern(8, {3: 0})], seed=0, max_slots=32
+            )
+
+    def test_rejects_out_of_range_probabilities(self):
+        class TooEager(FixedProbabilityPolicy):
+            def transmit_probability_matrix(self, stations, wakes, start, stop):
+                return np.full((len(stations), stop - start), 1.5)
+
+        with pytest.raises(ValueError, match="outside \\[0, 1\\]"):
+            run_randomized_batch(
+                TooEager(8, 0.5), [WakeupPattern(8, {3: 0})], seed=0, max_slots=32
+            )
+
+    def test_single_certain_transmitter_wins_at_wake(self):
+        result = run_randomized_batch(
+            FixedProbabilityPolicy(8, 1.0), [WakeupPattern(8, {5: 7})], seed=0
+        )
+        assert bool(result.solved[0])
+        assert int(result.success_slot[0]) == 7
+        assert int(result.winner[0]) == 5
+        assert int(result.latency[0]) == 0
+        assert int(result.slots_examined[0]) == 1
 
 
 class TestBatchResultContainer:

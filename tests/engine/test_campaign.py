@@ -29,9 +29,14 @@ class TestCampaignValidation:
         with pytest.raises(ValueError):
             Campaign(RoundRobin(8), workers=-1)
 
-    def test_randomized_needs_patterns(self):
-        with pytest.raises(ValueError):
-            Campaign(RepeatedProbabilityDecrease(8), seed=0).run([])
+    def test_empty_run_is_empty_for_both_protocol_kinds(self):
+        # Deterministic and randomized campaigns agree on the empty batch:
+        # an empty result, not an error.
+        for protocol in (RoundRobin(8), RepeatedProbabilityDecrease(8)):
+            result = Campaign(protocol, seed=0).run([])
+            assert len(result) == 0
+            assert result.protocol == protocol.describe()
+            assert result.solved_fraction == 1.0
 
 
 class TestDeterministicCampaign:
@@ -53,13 +58,61 @@ class TestRandomizedCampaign:
     def test_outcomes_independent_of_sharding(self, patterns):
         policy = RepeatedProbabilityDecrease(64)
         baseline = Campaign(policy, seed=3, shard_size=30, workers=0).run(patterns)
-        for shard_size, workers in ((4, 0), (11, 2)):
+        for shard_size, workers in ((4, 0), (11, 2), (1, 3), (7, 0)):
             result = Campaign(policy, seed=3, shard_size=shard_size, workers=workers).run(
                 patterns
             )
             np.testing.assert_array_equal(result.success_slot, baseline.success_slot)
             np.testing.assert_array_equal(result.winner, baseline.winner)
             np.testing.assert_array_equal(result.latency, baseline.latency)
+
+    def test_matches_per_pattern_slot_loop(self, patterns):
+        # The campaign's randomized path is the batched engine; its outcomes
+        # must be bit-for-bit the slot-loop engine's under the same child
+        # streams (spawned exactly as Campaign.run spawns them).
+        from repro._util import spawn_generators
+        from repro.channel.simulator import run_randomized
+
+        policy = RepeatedProbabilityDecrease(64)
+        result = Campaign(policy, seed=9, shard_size=8).run(patterns)
+        generators = spawn_generators(9, len(patterns), "campaign")
+        for i, (pattern, gen) in enumerate(zip(patterns, generators)):
+            reference = run_randomized(policy, pattern, rng=gen)
+            assert bool(result.solved[i]) == reference.solved
+            assert int(result.success_slot[i]) == reference.success_slot
+            assert int(result.winner[i]) == reference.winner
+            assert int(result.latency[i]) == reference.latency
+            assert int(result.slots_examined[i]) == reference.slots_examined
+
+    def test_seed_streams_stable_under_batch_extension(self, patterns):
+        # Child generators are spawned per pattern index before sharding, so
+        # the outcome of pattern i is a prefix property: running a longer
+        # batch (with a different shard layout) must not disturb it.
+        policy = RepeatedProbabilityDecrease(64)
+        prefix = Campaign(policy, seed=5, shard_size=7).run(patterns[:12])
+        full = Campaign(policy, seed=5, shard_size=13).run(patterns)
+        np.testing.assert_array_equal(full.success_slot[:12], prefix.success_slot)
+        np.testing.assert_array_equal(full.winner[:12], prefix.winner)
+        np.testing.assert_array_equal(full.latency[:12], prefix.latency)
+
+    def test_unsolved_rows_carry_sentinels_and_full_horizon(self):
+        # k >= 2 stations transmitting with probability 1 collide forever:
+        # every row exhausts max_slots and must report the unsolved columns.
+        from repro.core.randomized import FixedProbabilityPolicy
+
+        policy = FixedProbabilityPolicy(16, 1.0)
+        patterns = [
+            WakeupPattern(16, {1: 0, 2: 0}),
+            WakeupPattern(16, {3: 2, 4: 2, 5: 2}),
+        ]
+        result = Campaign(policy, seed=0, max_slots=40).run(patterns)
+        assert not result.solved.any()
+        np.testing.assert_array_equal(result.success_slot, [-1, -1])
+        np.testing.assert_array_equal(result.winner, [-1, -1])
+        np.testing.assert_array_equal(result.latency, [-1, -1])
+        np.testing.assert_array_equal(result.slots_examined, [40, 40])
+        with pytest.raises(RuntimeError, match="did not solve"):
+            result.require_all_solved()
 
     def test_seed_changes_outcomes(self, patterns):
         policy = RepeatedProbabilityDecrease(64)

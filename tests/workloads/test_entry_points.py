@@ -1,0 +1,95 @@
+"""Tests for workload plugin loading via ``importlib.metadata`` entry points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.adversary import simultaneous_pattern
+from repro.workloads import WorkloadSuite, load_entry_point_workloads
+from repro.workloads.suite import ENTRY_POINT_GROUP, Workload
+import repro.workloads.suite as suite_module
+
+
+def _plugin_factory(n, k, *, start=0, stations=None, rng=None):
+    """A plugin traffic shape: everyone wakes together at start."""
+    return simultaneous_pattern(n, k, start=start, stations=stations, rng=rng)
+
+
+class _StubEntryPoint:
+    def __init__(self, name, obj):
+        self.name = name
+        self._obj = obj
+
+    def load(self):
+        if isinstance(self._obj, Exception):
+            raise self._obj
+        return self._obj
+
+
+def _stub_metadata(monkeypatch, entry_points):
+    def fake_entry_points(*, group=None, **kwargs):
+        return list(entry_points) if group == ENTRY_POINT_GROUP else []
+
+    monkeypatch.setattr("importlib.metadata.entry_points", fake_entry_points)
+
+
+class TestLoadEntryPointWorkloads:
+    def test_factory_entry_point_registers_under_its_name(self, monkeypatch):
+        _stub_metadata(monkeypatch, [_StubEntryPoint("plugin-sim", _plugin_factory)])
+        registry = {}
+        loaded = load_entry_point_workloads(registry=registry)
+        assert [w.name for w in loaded] == ["plugin-sim"]
+        assert registry["plugin-sim"].description.startswith("A plugin traffic shape")
+        # The registered workload draws real patterns through the suite.
+        suite = WorkloadSuite(registry)
+        batch = suite.generate("plugin-sim", n=32, k=4, batch=3, seed=0)
+        assert len(batch) == 3
+        assert all(p.k == 4 and p.n == 32 for p in batch)
+
+    def test_workload_instance_entry_point(self, monkeypatch):
+        workload = Workload("shaped", "prebuilt workload", _plugin_factory)
+        _stub_metadata(monkeypatch, [_StubEntryPoint("ignored-ep-name", workload)])
+        registry = {}
+        load_entry_point_workloads(registry=registry)
+        assert registry == {"shaped": workload}
+
+    def test_refuses_to_shadow_existing_names(self, monkeypatch):
+        _stub_metadata(monkeypatch, [_StubEntryPoint("uniform", _plugin_factory)])
+        registry = {"uniform": Workload("uniform", "built-in", _plugin_factory)}
+        with pytest.raises(ValueError, match="already registered"):
+            load_entry_point_workloads(registry=registry)
+
+    def test_rejects_non_callable_objects(self, monkeypatch):
+        _stub_metadata(monkeypatch, [_StubEntryPoint("junk", object())])
+        with pytest.raises(TypeError, match="must resolve to a Workload"):
+            load_entry_point_workloads(registry={})
+
+    def test_non_strict_skips_broken_plugins_with_a_warning(self, monkeypatch):
+        _stub_metadata(
+            monkeypatch,
+            [
+                _StubEntryPoint("broken", RuntimeError("import boom")),
+                _StubEntryPoint("good", _plugin_factory),
+            ],
+        )
+        registry = {}
+        with pytest.warns(RuntimeWarning, match="broken"):
+            loaded = load_entry_point_workloads(registry=registry, strict=False)
+        assert [w.name for w in loaded] == ["good"]
+
+    def test_default_suite_autoloads_entry_points_once(self, monkeypatch):
+        calls = []
+
+        def fake_entry_points(*, group=None, **kwargs):
+            calls.append(group)
+            return [_StubEntryPoint("autoload-plugin", _plugin_factory)] if group == ENTRY_POINT_GROUP else []
+
+        monkeypatch.setattr("importlib.metadata.entry_points", fake_entry_points)
+        monkeypatch.setattr(suite_module, "_entry_points_loaded", False)
+        try:
+            suite = WorkloadSuite()
+            assert "autoload-plugin" in suite.names()
+            WorkloadSuite()  # second construction must not rescan
+            assert calls.count(ENTRY_POINT_GROUP) == 1
+        finally:
+            suite_module.WORKLOADS.pop("autoload-plugin", None)
