@@ -42,6 +42,7 @@ __all__ = [
     "derived_generator",
     "stable_key",
     "ragged_arange",
+    "MAX_CELLS_PER_CHUNK",
     "ceil_log2",
     "floor_log2",
     "ceil_div",
@@ -118,6 +119,13 @@ def derived_generator(seed: RngLike, *keys: Union[int, str]) -> np.random.Genera
     ``i`` of workload ``"heavy-tailed"``).
     """
     return spawn_generators(seed, 1, *keys)[0]
+
+
+#: Cap on the cells (pairs × slots, or rows × slots) a vectorized chunked
+#: scan materializes at once — bounds the transient working set of the batch
+#: engine's bincount scans and of the matrix-geometry enumerations in
+#: :mod:`repro.core.waking_matrix`, which must agree on the budget.
+MAX_CELLS_PER_CHUNK = 1 << 22
 
 
 def ragged_arange(counts: np.ndarray) -> np.ndarray:

@@ -131,8 +131,10 @@ class DeterministicProtocol(ABC):
         duplicates would corrupt the engine's transmitter counts.
 
         The default evaluates :meth:`transmit_slots` pair by pair, which is
-        correct for every protocol; schedule-backed protocols override it with
-        a fully vectorized computation.
+        correct for every protocol; schedule-backed protocols and the
+        matrix-backed Scenario C protocols (via
+        :meth:`~repro.core.waking_matrix.TransmissionMatrix.membership_for_pairs`)
+        override it with a fully vectorized computation.
         """
         idx_pieces = []
         slot_pieces = []

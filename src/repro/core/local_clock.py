@@ -43,7 +43,12 @@ from repro.core.round_robin import RoundRobin
 from repro.core.schedules import InterleavedProtocol
 from repro.core.scenario_c import WakeupProtocol
 from repro.core.selective import SelectiveFamily, concatenated_families
-from repro.core.waking_matrix import HashedTransmissionMatrix, TransmissionMatrix, matrix_parameters
+from repro.core.waking_matrix import (
+    HashedTransmissionMatrix,
+    TransmissionMatrix,
+    matrix_batch_transmit_slots,
+    matrix_parameters,
+)
 
 __all__ = [
     "LocalClockWakeup",
@@ -214,6 +219,16 @@ class LocalClockScenarioC(DeterministicProtocol):
         if not pieces:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(pieces)
+
+    def batch_transmit_slots(
+        self, stations: np.ndarray, wakes: np.ndarray, start: int, stop: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        # Mirror of WakeupProtocol.batch_transmit_slots on the local
+        # timeline: pair j is operational over [σ_j, σ_j + total_span) (no
+        # waiting phase) and indexes rows and columns by slot - σ_j.
+        return matrix_batch_transmit_slots(
+            self.matrix, stations, wakes, start, stop, local_columns=True
+        )
 
     def describe(self) -> str:
         p = self.params

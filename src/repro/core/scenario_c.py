@@ -31,6 +31,7 @@ from repro.core.waking_matrix import (
     HashedTransmissionMatrix,
     MatrixParameters,
     TransmissionMatrix,
+    matrix_batch_transmit_slots,
     matrix_parameters,
 )
 
@@ -39,6 +40,14 @@ __all__ = ["WakeupProtocol"]
 
 class WakeupProtocol(DeterministicProtocol):
     """Algorithm ``wakeup(n)`` (Section 5.4): the general Scenario C protocol.
+
+    A native fast-path protocol of the batch engine: it overrides
+    :meth:`batch_transmit_slots` with one vectorized computation — per-pair
+    ``µ(σ)`` / row-segment geometry from the cumulative row spans
+    (``searchsorted`` instead of a per-slot row walk) resolved through one
+    batched :meth:`~repro.core.waking_matrix.TransmissionMatrix.membership_for_pairs`
+    hash evaluation — so E3/E5/E7/E10 sweeps and ``worst_case_search`` run
+    at engine speed instead of the generic pair-by-pair fallback.
 
     Parameters
     ----------
@@ -142,6 +151,20 @@ class WakeupProtocol(DeterministicProtocol):
         if not pieces:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(pieces)
+
+    def batch_transmit_slots(
+        self, stations: np.ndarray, wakes: np.ndarray, start: int, stop: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        # Pair j is a candidate transmitter over [µ(σ_j), µ(σ_j) + total_span)
+        # (µ(σ) >= σ, so the wake-time floor is implied); the shared helper
+        # resolves the enumerated cells with batched hash evaluations.
+        return matrix_batch_transmit_slots(
+            self.matrix,
+            stations,
+            self.params.mu_array(np.asarray(wakes, dtype=np.int64)),
+            start,
+            stop,
+        )
 
     def describe(self) -> str:
         p = self.params

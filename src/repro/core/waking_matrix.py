@@ -31,12 +31,22 @@ This module provides:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from bisect import bisect_right
 from dataclasses import dataclass
+from functools import cached_property
+from itertools import accumulate
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro._util import RngLike, as_generator, ceil_log2, validate_positive_int
+from repro._util import (
+    MAX_CELLS_PER_CHUNK,
+    RngLike,
+    as_generator,
+    ceil_log2,
+    ragged_arange,
+    validate_positive_int,
+)
 from repro.channel.wakeup import WakeupPattern
 
 __all__ = [
@@ -45,6 +55,7 @@ __all__ = [
     "TransmissionMatrix",
     "HashedTransmissionMatrix",
     "ExplicitTransmissionMatrix",
+    "matrix_batch_transmit_slots",
     "operational_sets",
     "is_well_balanced_slot",
     "isolated_station_at",
@@ -86,10 +97,25 @@ class MatrixParameters:
     length: int
     row_spans: Tuple[int, ...]
 
+    @cached_property
+    def cumulative_spans(self) -> Tuple[int, ...]:
+        """Cumulative row spans ``(m_1, m_1+m_2, ..., m_1+...+m_rows)``.
+
+        Entry ``i`` is the offset (since becoming operational) at which row
+        ``i + 2`` would begin; the last entry equals :attr:`total_span`.
+        Computed once so :meth:`row_at_offset` is a bisection, not an O(rows)
+        scan per slot.
+        """
+        return tuple(accumulate(self.row_spans))
+
+    @cached_property
+    def _cumulative_spans_array(self) -> np.ndarray:
+        return np.asarray(self.cumulative_spans, dtype=np.int64)
+
     @property
     def total_span(self) -> int:
         """``m_1 + ... + m_rows`` — slots a station spends before exhausting all rows."""
-        return sum(self.row_spans)
+        return self.cumulative_spans[-1] if self.cumulative_spans else 0
 
     def rho(self, j: int) -> int:
         """``ρ(j) = j mod window`` (the within-window position of column ``j``)."""
@@ -107,6 +133,13 @@ class MatrixParameters:
         remainder = sigma % w
         return sigma if remainder == 0 else sigma + (w - remainder)
 
+    def mu_array(self, sigmas) -> np.ndarray:
+        """Vectorized :meth:`mu` over an int array of wake-up slots."""
+        sigmas = np.asarray(sigmas, dtype=np.int64)
+        if sigmas.size and int(sigmas.min()) < 0:
+            raise ValueError("sigma must be >= 0")
+        return sigmas + (-sigmas) % self.window
+
     def window_of(self, slot: int) -> int:
         """Index ``p`` of the window ``[p·window, (p+1)·window)`` containing ``slot``."""
         return int(slot) // self.window
@@ -118,14 +151,45 @@ class MatrixParameters:
         (``offset >= total_span``) — per the protocol it then stops
         transmitting.
         """
-        if offset < 0:
+        if offset < 0 or offset >= self.total_span:
             return None
-        running = 0
-        for i, span in enumerate(self.row_spans, start=1):
-            running += span
-            if offset < running:
-                return i
-        return None
+        return bisect_right(self.cumulative_spans, offset) + 1
+
+    def rows_at_offsets(self, offsets) -> np.ndarray:
+        """Vectorized :meth:`row_at_offset`: 0 marks "no row" (waiting/exhausted).
+
+        Returns an int64 array aligned with ``offsets`` whose entries are the
+        1-based row indices, with 0 wherever :meth:`row_at_offset` would
+        return ``None`` (negative offset or all rows exhausted).
+        """
+        offsets = np.asarray(offsets, dtype=np.int64)
+        rows = np.searchsorted(self._cumulative_spans_array, offsets, side="right") + 1
+        rows[(offsets < 0) | (offsets >= self.total_span)] = 0
+        return rows
+
+    def operational_cells(
+        self, starts, chunk_start: int, chunk_stop: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Enumerate every (pair, slot) cell executing a matrix row in a window.
+
+        ``starts[j]`` is the slot at which pair ``j`` begins descending the
+        rows — its ``µ(σ_j)`` on the global clock, its wake-up on a local
+        clock — making it a candidate transmitter over ``[starts[j],
+        starts[j] + total_span)``.  Returns aligned int64 arrays
+        ``(pair_index, slots, offsets, rows)`` covering the intersection of
+        every pair's operational interval with ``[chunk_start, chunk_stop)``;
+        offsets lie in ``[0, total_span)`` by construction, so every cell
+        maps to a real 1-based row.  This is the shared geometry behind the
+        native batch paths and :func:`first_isolation`.
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        lo = np.maximum(starts, int(chunk_start))
+        hi = np.minimum(starts + self.total_span, int(chunk_stop))
+        counts = np.maximum(hi - lo, 0)
+        pair_index = np.repeat(np.arange(len(starts), dtype=np.int64), counts)
+        slots = np.repeat(lo, counts) + ragged_arange(counts)
+        offsets = slots - starts[pair_index]
+        return pair_index, slots, offsets, self.rows_at_offsets(offsets)
 
     def row_start_offset(self, row: int) -> int:
         """Offset (since becoming operational) at which ``row`` begins."""
@@ -195,6 +259,33 @@ class TransmissionMatrix(ABC):
             count=len(columns),
         )
 
+    def membership_for_pairs(
+        self, stations: np.ndarray, rows: np.ndarray, columns: np.ndarray
+    ) -> np.ndarray:
+        """Batched membership over aligned ``(station, row, column)`` triples.
+
+        The query the batch engine's Scenario C fast path issues once per
+        chunk: entry ``i`` of the returned boolean array is
+        ``stations[i] ∈ M_{rows[i], columns[i]}`` (columns taken modulo
+        ``length``).  Inputs broadcast against each other, so scalars may be
+        mixed with arrays.  The default loops over :meth:`contains`;
+        :class:`HashedTransmissionMatrix` overrides it with one broadcasted
+        hash evaluation.
+        """
+        stations, rows, columns = np.broadcast_arrays(
+            np.asarray(stations, dtype=np.int64),
+            np.asarray(rows, dtype=np.int64),
+            np.asarray(columns, dtype=np.int64),
+        )
+        return np.fromiter(
+            (
+                self.contains(int(r), int(j), int(u))
+                for u, r, j in zip(stations.ravel(), rows.ravel(), columns.ravel())
+            ),
+            dtype=bool,
+            count=stations.size,
+        ).reshape(stations.shape)
+
     def column_set(self, row: int, column: int) -> FrozenSet[int]:
         """The full transmission set ``M_{row, column}`` (O(n); diagnostics only)."""
         return frozenset(
@@ -250,18 +341,55 @@ class HashedTransmissionMatrix(TransmissionMatrix):
         super().__init__(params)
         self.seed = int(seed)
         self._seed64 = np.uint64(self.seed & 0xFFFFFFFFFFFFFFFF)
+        # Membership threshold per (row, ρ) class, exponent-clamped: the
+        # batched queries gather from this table instead of recomputing the
+        # shift per cell.
+        exponents = (
+            np.arange(1, params.rows + 1, dtype=np.int64)[:, None]
+            + np.arange(params.window, dtype=np.int64)[None, :]
+        )
+        self._threshold_by_row_rho = self._thresholds(exponents)
 
-    def _hash(self, row: int, columns: np.ndarray, station: int) -> np.ndarray:
-        cols = (columns % self.params.length).astype(np.uint64)
-        # Per-row/station/seed salt computed with Python ints (wrap-around via the
-        # explicit 64-bit mask) so numpy never sees a scalar integer overflow.
-        salt = (
-            (station * 0xA24BAED4963EE407) ^ (row * 0x9FB21C651E98DF25) ^ self.seed
-        ) & 0xFFFFFFFFFFFFFFFF
+    def _hash_cells(
+        self, rows: np.ndarray, columns: np.ndarray, stations: np.ndarray
+    ) -> np.ndarray:
+        """Broadcasted splitmix64 over aligned ``(row, column, station)`` cells.
+
+        ``columns`` must already be reduced modulo ``length``.  All uint64
+        arithmetic wraps modulo 2^64, matching the scalar Python-int salt the
+        original per-station path computed.
+        """
         with np.errstate(over="ignore"):
-            x = cols * np.uint64(0xD6E8FEB86659FD93)
-            x ^= np.uint64(salt)
+            salt = (
+                (stations.astype(np.uint64) * np.uint64(0xA24BAED4963EE407))
+                ^ (rows.astype(np.uint64) * np.uint64(0x9FB21C651E98DF25))
+                ^ self._seed64
+            )
+            x = columns.astype(np.uint64) * np.uint64(0xD6E8FEB86659FD93)
+            x ^= salt
             return _splitmix64(x)
+
+    @staticmethod
+    def _thresholds(exponents: np.ndarray) -> np.ndarray:
+        """``2^(64 - exponent)`` as uint64, with the exponent clamped.
+
+        A cell is a member iff its hash is below the threshold, which happens
+        with probability ``2^-exponent``.  ``exponent > 64`` would make the
+        shift count negative — undefined in uint64 and silently corrupting on
+        common hardware (the shift wraps modulo 64, turning a
+        probability-~0 cell into probability ~1/2).  The clamp maps every
+        ``exponent >= 64`` to threshold 0 — probability exactly 0, trading
+        the one representable-but-negligible case (``exponent == 64``,
+        probability ``2^-64``: member iff the hash is exactly 0) for a
+        uniform boundary.
+        """
+        exponents = np.asarray(exponents, dtype=np.int64)
+        shift = (np.int64(64) - np.minimum(exponents, np.int64(64))).astype(np.uint64)
+        return np.where(
+            exponents >= 64,
+            np.uint64(0),
+            np.left_shift(np.uint64(1), shift),
+        )
 
     def contains(self, row: int, column: int, station: int) -> bool:
         return bool(
@@ -278,12 +406,37 @@ class HashedTransmissionMatrix(TransmissionMatrix):
         columns = np.asarray(columns, dtype=np.int64)
         if columns.size == 0:
             return np.empty(0, dtype=bool)
-        hashes = self._hash(row, columns, station)
-        rho = (columns % self.params.length) % self.params.window
-        exponents = (row + rho).astype(np.uint64)
-        # Member iff the top `exponent` bits are zero: hash < 2^(64 - exponent).
-        thresholds = np.left_shift(np.uint64(1), np.uint64(64) - exponents)
-        return hashes < thresholds
+        return self._membership(
+            np.full(columns.shape, station, dtype=np.int64),
+            np.full(columns.shape, row, dtype=np.int64),
+            columns,
+        )
+
+    def membership_for_pairs(
+        self, stations: np.ndarray, rows: np.ndarray, columns: np.ndarray
+    ) -> np.ndarray:
+        stations, rows, columns = np.broadcast_arrays(
+            np.asarray(stations, dtype=np.int64),
+            np.asarray(rows, dtype=np.int64),
+            np.asarray(columns, dtype=np.int64),
+        )
+        if stations.size == 0:
+            return np.empty(stations.shape, dtype=bool)
+        if int(rows.min()) < 1 or int(rows.max()) > self.params.rows:
+            raise ValueError(f"rows must be in [1, {self.params.rows}]")
+        if int(stations.min()) < 1 or int(stations.max()) > self.n:
+            raise ValueError(f"stations must be in [1, {self.n}]")
+        return self._membership(stations, rows, columns)
+
+    def _membership(
+        self, stations: np.ndarray, rows: np.ndarray, columns: np.ndarray
+    ) -> np.ndarray:
+        cols = columns % self.params.length
+        hashes = self._hash_cells(rows, cols, stations)
+        # Member iff the top `row + rho` bits of the hash are zero:
+        # hash < 2^(64 - (row + rho)), with the exponent clamped (see
+        # _thresholds, which built this table).
+        return hashes < self._threshold_by_row_rho[rows - 1, cols % self.params.window]
 
 
 class ExplicitTransmissionMatrix(TransmissionMatrix):
@@ -338,6 +491,58 @@ class ExplicitTransmissionMatrix(TransmissionMatrix):
     def column_set(self, row: int, column: int) -> FrozenSet[int]:
         column = int(column) % self.params.length
         return self._entries.get((row, column), frozenset())
+
+
+def matrix_batch_transmit_slots(
+    matrix: TransmissionMatrix,
+    stations: np.ndarray,
+    starts: np.ndarray,
+    start: int,
+    stop: int,
+    *,
+    local_columns: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Shared ``batch_transmit_slots`` body for matrix-driven protocols.
+
+    Pair ``j`` (station ``stations[j]``) descends the matrix rows over
+    ``[starts[j], starts[j] + total_span)``; within the window
+    ``[start, stop)`` its transmit slots are the operational cells whose
+    matrix entry contains the station.  ``local_columns`` selects the column
+    index: the global clock reads column ``slot mod ℓ``
+    (:class:`~repro.core.scenario_c.WakeupProtocol`), a local clock reads
+    ``(slot - starts[j]) mod ℓ``
+    (:class:`~repro.core.local_clock.LocalClockScenarioC`).
+
+    The window is processed in slices so that pairs × slice-length never
+    exceeds the engine's cells-per-chunk budget — the engine caps its chunk
+    length by active *patterns*, while this enumeration is dense in *pairs*,
+    so without the inner slicing a k-heavy unsolved batch could materialize
+    k-fold more cells than the engine's documented working-set bound.
+    Returns the aligned ``(pair_index, slots)`` arrays of the
+    ``batch_transmit_slots`` contract.
+    """
+    stations = np.asarray(stations, dtype=np.int64)
+    starts = np.asarray(starts, dtype=np.int64)
+    params = matrix.params
+    start, stop = int(start), int(stop)
+    step = max(16, MAX_CELLS_PER_CHUNK // max(1, len(stations)))
+    idx_pieces: List[np.ndarray] = []
+    slot_pieces: List[np.ndarray] = []
+    for lo in range(start, stop, step):
+        pair_index, slots, offsets, rows = params.operational_cells(
+            starts, lo, min(stop, lo + step)
+        )
+        if not slots.size:
+            continue
+        columns = (offsets if local_columns else slots) % params.length
+        member = matrix.membership_for_pairs(stations[pair_index], rows, columns)
+        if member.any():
+            idx_pieces.append(pair_index[member])
+            slot_pieces.append(slots[member])
+    if not slot_pieces:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(idx_pieces), np.concatenate(slot_pieces)
 
 
 # ---------------------------------------------------------------------------
@@ -413,6 +618,7 @@ def first_isolation(
     pattern: WakeupPattern,
     *,
     max_slots: int = 500_000,
+    chunk: int = 2048,
 ) -> Optional[Tuple[int, int]]:
     """Scan forward from the first wake-up for the first isolating slot.
 
@@ -420,10 +626,47 @@ def first_isolation(
     ``max_slots`` slots of the first wake-up.  This is the matrix-level view
     of the Scenario C protocol's success; the protocol object in
     :mod:`repro.core.scenario_c` must agree with it (tested).
+
+    The scan is chunked and vectorized with the batch engine's
+    transmit-count idiom: per chunk, every operational ``(station, slot)``
+    cell is enumerated at once, membership is resolved through
+    :meth:`TransmissionMatrix.membership_for_pairs`, and per-slot transmitter
+    counts come from one :func:`numpy.bincount`; a slot isolates a station
+    iff its count is exactly 1.  Results are identical to probing
+    :func:`isolated_station_at` slot by slot (the chunk layout never affects
+    the outcome); the scan also stops early once every station has exhausted
+    all matrix rows, after which no slot can isolate.
     """
+    params = matrix.params
+    k = pattern.k
+    stations = np.fromiter(pattern.wake_times.keys(), np.int64, count=k)
+    mus = params.mu_array(np.fromiter(pattern.wake_times.values(), np.int64, count=k))
     start = pattern.first_wake
-    for slot in range(start, start + max_slots):
-        station = isolated_station_at(matrix, pattern, slot)
-        if station is not None:
-            return slot, station
+    horizon = start + int(max_slots)
+    last_activity = int(mus.max()) + params.total_span
+
+    chunk_start = start
+    chunk_len = max(16, int(chunk))
+    while chunk_start < min(horizon, last_activity):
+        # Keep the per-chunk working set bounded regardless of pattern size
+        # (the engine's cells-per-chunk cap).
+        length = min(chunk_len, max(16, MAX_CELLS_PER_CHUNK // k))
+        chunk_stop = min(horizon, chunk_start + length)
+        cell_pair, cell_slot, _, rows = params.operational_cells(
+            mus, chunk_start, chunk_stop
+        )
+        if cell_slot.size:
+            member = matrix.membership_for_pairs(
+                stations[cell_pair], rows, cell_slot % params.length
+            )
+            transmit_counts = np.bincount(
+                cell_slot[member] - chunk_start, minlength=chunk_stop - chunk_start
+            )
+            singles = np.flatnonzero(transmit_counts == 1)
+            if singles.size:
+                slot = chunk_start + int(singles[0])
+                winners = cell_pair[member & (cell_slot == slot)]
+                return slot, int(stations[winners[0]])
+        chunk_start = chunk_stop
+        chunk_len = min(chunk_len * 2, 1 << 17)
     return None

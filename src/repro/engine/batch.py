@@ -52,7 +52,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro._util import RngLike, spawn_generators
+from repro._util import MAX_CELLS_PER_CHUNK, RngLike, spawn_generators
 from repro.channel.protocols import DeterministicProtocol, RandomizedPolicy
 from repro.channel.simulator import DEFAULT_MAX_SLOTS, WakeupResult, run_randomized
 from repro.channel.wakeup import WakeupPattern
@@ -78,8 +78,9 @@ DEFAULT_BATCH_CHUNK = 128
 #: affects outcomes — only wasted work.
 DEFAULT_RANDOMIZED_CHUNK = 16
 
-#: Cap on rows × slots examined per chunk (bounds the bincount working set).
-_MAX_CELLS_PER_CHUNK = 1 << 22
+#: Cap on rows × slots examined per chunk (bounds the bincount working set);
+#: shared with the waking-matrix geometry enumerations via repro._util.
+_MAX_CELLS_PER_CHUNK = MAX_CELLS_PER_CHUNK
 
 #: Cap on the geometric chunk growth, matching the per-pattern engine.
 _MAX_CHUNK = 1 << 20

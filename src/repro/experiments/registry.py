@@ -692,12 +692,16 @@ def experiment_e7_matrix_structure(
             cols = columns[(columns % params.window) == rho]
             if cols.size == 0:
                 continue
-            hits = 0
-            total = 0
-            for station in range(1, n + 1):
-                member = matrix.membership_for_station(station, row, cols)
-                hits += int(member.sum())
-                total += member.size
+            # One batched membership query over all n stations × columns of
+            # this (row, rho) class — same hash cells, same frequencies as
+            # the old per-station loop.
+            member = matrix.membership_for_pairs(
+                np.repeat(np.arange(1, n + 1, dtype=np.int64), cols.size),
+                row,
+                np.tile(cols, n),
+            )
+            hits = int(member.sum())
+            total = int(member.size)
             empirical = hits / total if total else 0.0
             expected = 2.0 ** (-(row + rho))
             table.add_row([row, rho, empirical, expected])

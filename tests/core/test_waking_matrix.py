@@ -202,6 +202,229 @@ class TestExplicitTransmissionMatrix:
         assert row1 > rowL
 
 
+class TestExponentClamp:
+    """Regression tests for the membership-threshold exponent overflow.
+
+    The threshold is ``2^(64 - (row + rho))`` in uint64.  The pre-fix code
+    computed the shift as ``np.uint64(64) - exponent``, which wraps to a huge
+    shift count whenever ``row + rho > 64`` (large ``n``, or E10-style
+    ``window`` overrides) — an undefined uint64 shift that on common hardware
+    wraps modulo 64 and silently turns probability-~0 cells into
+    probability ~1/2.  The fix clamps: ``row + rho >= 64`` yields threshold 0.
+    """
+
+    def _params(self):
+        # window=66 pushes row + rho across the 64 boundary at row 1.
+        return matrix_parameters(4, c=1, window=66)
+
+    def _columns_with_rho(self, params, rho):
+        columns = np.arange(params.length, dtype=np.int64)
+        return columns[(columns % params.window) == rho]
+
+    def test_thresholds_at_the_boundary(self):
+        thresholds = HashedTransmissionMatrix._thresholds(
+            np.asarray([1, 63, 64, 65, 130], dtype=np.int64)
+        )
+        assert thresholds.dtype == np.uint64
+        assert thresholds.tolist() == [1 << 63, 2, 0, 0, 0]
+
+    def test_membership_is_exactly_zero_from_exponent_64(self):
+        params = self._params()
+        matrix = HashedTransmissionMatrix(params, seed=123)
+        for rho in (63, 64, 65):  # row 1 -> exponents 64, 65, 66
+            cols = self._columns_with_rho(params, rho)
+            assert cols.size > 0
+            for station in range(1, params.n + 1):
+                assert not matrix.membership_for_station(station, 1, cols).any()
+                assert not any(matrix.contains(1, int(j), station) for j in cols)
+
+    def test_membership_at_exponent_63_is_defined_and_consistent(self):
+        params = self._params()
+        matrix = HashedTransmissionMatrix(params, seed=123)
+        cols = self._columns_with_rho(params, 62)  # row 1 -> exponent 63
+        vec = matrix.membership_for_station(2, 1, cols)
+        scalar = [matrix.contains(1, int(j), 2) for j in cols]
+        assert vec.tolist() == scalar
+
+    def test_batched_pairs_agree_with_scalar_across_the_boundary(self):
+        params = self._params()
+        matrix = HashedTransmissionMatrix(params, seed=9)
+        columns = np.arange(params.length, dtype=np.int64)
+        for row in (1, params.rows):
+            member = matrix.membership_for_pairs(3, row, columns)
+            reference = matrix.membership_for_station(3, row, columns)
+            np.testing.assert_array_equal(member, reference)
+            # Exponents >= 64 contribute exactly zero members.
+            beyond = (row + (columns % params.window)) >= 64
+            assert not member[beyond].any()
+
+    def test_probabilities_below_the_boundary_are_unaffected(self):
+        # The clamp must not disturb ordinary geometries: row-1/rho-0
+        # membership frequency still tracks probability 1/2.
+        params = matrix_parameters(64)
+        matrix = HashedTransmissionMatrix(params, seed=4)
+        cols = np.arange(0, params.length, params.window, dtype=np.int64)[:2000]
+        hits = sum(
+            int(matrix.membership_for_station(u, 1, cols).sum()) for u in range(1, 65)
+        )
+        assert abs(hits / (64 * cols.size) - 0.5) < 0.05
+
+
+class TestMembershipForPairs:
+    def test_hashed_pairs_match_contains_elementwise(self):
+        params = matrix_parameters(32)
+        matrix = HashedTransmissionMatrix(params, seed=3)
+        rng = np.random.default_rng(0)
+        stations = rng.integers(1, 33, size=500)
+        rows = rng.integers(1, params.rows + 1, size=500)
+        columns = rng.integers(0, 3 * params.length, size=500)
+        member = matrix.membership_for_pairs(stations, rows, columns)
+        reference = [
+            matrix.contains(int(r), int(j), int(u))
+            for u, r, j in zip(stations, rows, columns)
+        ]
+        assert member.tolist() == reference
+
+    def test_pairs_match_membership_for_station(self):
+        params = matrix_parameters(16)
+        matrix = HashedTransmissionMatrix(params, seed=7)
+        columns = np.arange(200, dtype=np.int64)
+        for station in (1, 9, 16):
+            for row in (1, params.rows):
+                np.testing.assert_array_equal(
+                    matrix.membership_for_pairs(station, row, columns),
+                    matrix.membership_for_station(station, row, columns),
+                )
+
+    def test_base_class_default_matches_contains(self):
+        params = matrix_parameters(8, c=1)
+        matrix = ExplicitTransmissionMatrix(params, {(1, 0): {1, 2}, (2, 3): {5}})
+        stations = np.asarray([1, 2, 3, 5, 5], dtype=np.int64)
+        rows = np.asarray([1, 1, 1, 2, 1], dtype=np.int64)
+        columns = np.asarray([0, 0, 0, 3, 3], dtype=np.int64)
+        member = matrix.membership_for_pairs(stations, rows, columns)
+        assert member.tolist() == [True, True, False, True, False]
+
+    def test_scalars_broadcast(self):
+        params = matrix_parameters(16)
+        matrix = HashedTransmissionMatrix(params, seed=0)
+        columns = np.arange(50, dtype=np.int64)
+        np.testing.assert_array_equal(
+            matrix.membership_for_pairs(5, 1, columns),
+            matrix.membership_for_station(5, 1, columns),
+        )
+
+    def test_empty_input(self):
+        params = matrix_parameters(16)
+        matrix = HashedTransmissionMatrix(params, seed=0)
+        empty = np.empty(0, dtype=np.int64)
+        assert matrix.membership_for_pairs(empty, empty, empty).size == 0
+
+    def test_validation(self):
+        params = matrix_parameters(16)
+        matrix = HashedTransmissionMatrix(params, seed=0)
+        columns = np.asarray([0, 1], dtype=np.int64)
+        with pytest.raises(ValueError):
+            matrix.membership_for_pairs([1, 2], [0, 1], columns)
+        with pytest.raises(ValueError):
+            matrix.membership_for_pairs([0, 2], [1, 1], columns)
+        with pytest.raises(ValueError):
+            matrix.membership_for_pairs([1, 17], [1, 1], columns)
+
+
+class TestCumulativeSpanGeometry:
+    def test_cumulative_spans_values(self):
+        params = matrix_parameters(64, c=3)
+        assert params.cumulative_spans == tuple(
+            sum(params.row_spans[: i + 1]) for i in range(params.rows)
+        )
+        assert params.total_span == sum(params.row_spans)
+
+    def test_row_at_offset_matches_linear_scan_reference(self):
+        params = matrix_parameters(64)
+
+        def reference(offset):
+            if offset < 0:
+                return None
+            running = 0
+            for i, span in enumerate(params.row_spans, start=1):
+                running += span
+                if offset < running:
+                    return i
+            return None
+
+        probes = [-5, -1, 0, 1]
+        for boundary in params.cumulative_spans:
+            probes += [boundary - 1, boundary, boundary + 1]
+        probes += [params.total_span - 1, params.total_span, params.total_span + 99]
+        for offset in probes:
+            assert params.row_at_offset(offset) == reference(offset), offset
+
+    def test_rows_at_offsets_matches_scalar(self):
+        params = matrix_parameters(32, c=1)
+        offsets = np.asarray(
+            [-3, -1, 0, 1, params.row_spans[0] - 1, params.row_spans[0],
+             params.total_span - 1, params.total_span, params.total_span + 7],
+            dtype=np.int64,
+        )
+        rows = params.rows_at_offsets(offsets)
+        for offset, row in zip(offsets, rows):
+            expected = params.row_at_offset(int(offset))
+            assert int(row) == (0 if expected is None else expected)
+
+    def test_mu_array_matches_scalar(self):
+        params = matrix_parameters(64)
+        sigmas = np.arange(0, 4 * params.window + 1, dtype=np.int64)
+        np.testing.assert_array_equal(
+            params.mu_array(sigmas),
+            np.asarray([params.mu(int(s)) for s in sigmas], dtype=np.int64),
+        )
+        with pytest.raises(ValueError):
+            params.mu_array(np.asarray([-1], dtype=np.int64))
+
+
+class TestFirstIsolationChunkedScan:
+    def _reference(self, matrix, pattern, max_slots):
+        start = pattern.first_wake
+        for slot in range(start, start + max_slots):
+            station = isolated_station_at(matrix, pattern, slot)
+            if station is not None:
+                return slot, station
+        return None
+
+    def test_matches_slot_by_slot_reference(self):
+        rng = np.random.default_rng(1)
+        for seed in range(6):
+            n = int(rng.integers(2, 16))
+            params = matrix_parameters(n, c=1)
+            matrix = HashedTransmissionMatrix(params, seed=seed)
+            k = int(rng.integers(1, min(n, 4) + 1))
+            stations = rng.choice(np.arange(1, n + 1), size=k, replace=False)
+            wakes = rng.integers(0, 20, size=k)
+            pattern = WakeupPattern(n, {int(u): int(w) for u, w in zip(stations, wakes)})
+            got = first_isolation(matrix, pattern, max_slots=4000)
+            assert got == self._reference(matrix, pattern, 4000)
+
+    def test_chunk_layout_never_changes_the_outcome(self):
+        params = matrix_parameters(12, c=1)
+        matrix = HashedTransmissionMatrix(params, seed=2)
+        pattern = WakeupPattern(12, {3: 0, 7: 5, 11: 9})
+        outcomes = {
+            first_isolation(matrix, pattern, max_slots=4000, chunk=chunk)
+            for chunk in (16, 17, 100, 2048)
+        }
+        assert len(outcomes) == 1
+
+    def test_exhaustion_early_exit_still_returns_none(self):
+        # Stations exhaust all rows long before the horizon; the chunked scan
+        # stops early but must report the same None the full scan would.
+        params = matrix_parameters(2, c=1)
+        matrix = ExplicitTransmissionMatrix(params, {})
+        pattern = WakeupPattern(2, {1: 0, 2: 0})
+        horizon = 100 * (params.total_span + params.window)
+        assert first_isolation(matrix, pattern, max_slots=horizon) is None
+
+
 class TestSection52Analysis:
     def test_operational_sets_partition(self):
         params = matrix_parameters(32)

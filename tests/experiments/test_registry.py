@@ -79,6 +79,30 @@ class TestScenarioExperiments:
         agreement_rows = [r for r in result.rows if "agreement" in r]
         assert agreement_rows and agreement_rows[0]["agreement"]
 
+    def test_e7_batched_frequencies_match_per_station_loop(self):
+        # The membership-frequency table is computed with one batched
+        # membership_for_pairs query per (row, rho) class; the numbers must be
+        # exactly what the old per-station membership_for_station loop printed.
+        import numpy as np
+
+        from repro.core.scenario_c import WakeupProtocol
+
+        result = run_experiment("E7", TINY, seed=0)
+        frequency_rows = [r for r in result.rows if "empirical_probability" in r]
+        assert frequency_rows
+        protocol = WakeupProtocol(32, seed=0)
+        params, matrix = protocol.params, protocol.matrix
+        columns = np.arange(0, min(params.length, 2048), dtype=np.int64)
+        for entry in frequency_rows:
+            row, rho = entry["row"], entry["rho"]
+            cols = columns[(columns % params.window) == rho]
+            hits = sum(
+                int(matrix.membership_for_station(u, row, cols).sum())
+                for u in range(1, 33)
+            )
+            assert entry["empirical_probability"] == hits / (32 * cols.size)
+            assert entry["expected_probability"] == 2.0 ** (-(row + rho))
+
     def test_e8_selective_families(self):
         result = run_experiment("E8", TINY)
         for row in result.rows:

@@ -36,7 +36,8 @@ PROTOCOL_FACTORIES = {
     "wakeup_with_k": lambda: WakeupWithK(N, 4, families=_FAMILIES_K4),
     "wait_and_go": lambda: WaitAndGo(N, 4, families=_FAMILIES_K4),
     "komlos_greenberg": lambda: KomlosGreenberg(N, 4, families=_FAMILIES_K4),
-    # Uses the generic pair-by-pair fallback, not a vectorized override.
+    # Native batched-membership fast path (see test_property_wakeup_engine
+    # for the dedicated Scenario C suite incl. the generic-fallback cross-check).
     "scenario_c": lambda: WakeupProtocol(N, seed=11),
 }
 
