@@ -1,0 +1,137 @@
+"""Throughput of process-parallel sweeps vs. the serial config loop.
+
+The sweep layer exists to raise configs/sec — with the batch engine making a
+single config fast, the remaining wall-clock sink of an experiment campaign
+is walking the config grid one Python call at a time on one core.  These
+benchmarks run the reference grid — a 16-config E-series-style sweep
+(``scenario-b``, n ∈ {512, 1024}, k ∈ {8..64}, 2 seeds, 192 patterns per
+config) — through :class:`repro.sweeps.SweepRunner` serially and at 4 worker
+processes, and gate three contracts:
+
+* **speedup** — ≥ 2x configs/sec at 4 workers (skipped below 4 usable CPUs,
+  where 4-way process parallelism cannot reach the bar by construction);
+* **bit-for-bit equality** — the sharded sweep returns exactly the serial
+  outcome columns;
+* **resume** — a sweep restarted from a partial store completes to the same
+  result without recomputing stored configs.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_sweep_throughput.py -s
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.sweeps import SweepRunner, SweepSpec, SweepStore
+
+#: The reference grid: 16 configs (1 protocol x 2 n x 4 k x 2 seeds).
+SPEC = SweepSpec(
+    protocols=("scenario-b",),
+    n_values=(512, 1024),
+    k_values=(8, 16, 32, 64),
+    seeds=(0, 1),
+    batch=192,
+    max_slots=200_000,
+)
+
+#: Smaller sibling grid for the (unskippable) correctness assertions.
+SMALL_SPEC = SweepSpec(
+    protocols=("scenario-b", "scenario-c"),
+    n_values=(256,),
+    k_values=(8, 16),
+    seeds=(0, 1),
+    batch=48,
+    max_slots=200_000,
+)
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _columns(result):
+    return [(r.config.config_hash(), r.columns) for r in result.records]
+
+
+def _best_of(fn, repeats=3):
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def test_parallel_sweep_matches_serial_bit_for_bit():
+    """Contract: sharding is scheduling only — outcomes are identical."""
+    serial = SweepRunner(workers=0).run(SMALL_SPEC)
+    parallel = SweepRunner(workers=4).run(SMALL_SPEC)
+    assert serial.all_solved
+    assert _columns(parallel) == _columns(serial)
+
+
+def test_sweep_resumes_from_partial_store(tmp_path):
+    """Contract: a partial store completes to the serial result, reusing disk."""
+    serial = SweepRunner(workers=0).run(SMALL_SPEC)
+    configs = SMALL_SPEC.configs()
+    store = SweepStore(tmp_path / "store")
+    SweepRunner(workers=0, store=store).run(configs[: len(configs) // 2])
+    resumed = SweepRunner(workers=4, store=store).run(SMALL_SPEC)
+    assert resumed.reused == len(configs) // 2
+    assert _columns(resumed) == _columns(serial)
+
+
+def test_sweep_parallel_speedup_is_at_least_2x():
+    """Regression gate: >= 2x configs/sec at 4 workers on the 16-config grid."""
+    if _usable_cpus() < 4:
+        # 4 workers on fewer than 4 cores cannot reach 2x by construction
+        # (2 cores top out right at 2.0x before pool overhead), so the gate
+        # only runs where it can meaningfully pass — e.g. CI's 4-vCPU runners.
+        pytest.skip("the 4-worker speedup gate needs >= 4 usable CPUs")
+    configs = SPEC.configs()
+    assert len(configs) == 16
+    serial_runner = SweepRunner(workers=0)
+    parallel_runner = SweepRunner(workers=4)
+    # Warm the family cache and page in both paths once; on fork platforms
+    # the warmed cache is inherited by the worker processes.
+    serial_runner.run(configs[:2])
+    parallel_runner.run(configs[:2])
+
+    serial_time = _best_of(lambda: serial_runner.run(SPEC), repeats=2)
+    parallel_time = _best_of(lambda: parallel_runner.run(SPEC), repeats=2)
+    speedup = serial_time / parallel_time
+    print(
+        f"sweep: serial {len(configs) / serial_time:,.1f} configs/s, "
+        f"4 workers {len(configs) / parallel_time:,.1f} configs/s, "
+        f"speedup {speedup:.2f}x"
+    )
+    assert speedup >= 2.0, (
+        f"4-worker sweep only {speedup:.2f}x over serial "
+        f"(serial {serial_time:.3f}s, parallel {parallel_time:.3f}s for {len(configs)} configs)"
+    )
+
+
+def test_benchmark_sweep_serial(benchmark):
+    """Baseline: the serial config loop on the reference grid."""
+    result = benchmark.pedantic(
+        lambda: SweepRunner(workers=0).run(SPEC), rounds=1, iterations=1
+    )
+    assert result.all_solved
+    benchmark.extra_info["configs_per_sec"] = len(SPEC.configs()) / benchmark.stats["mean"]
+
+
+def test_benchmark_sweep_4_workers(benchmark):
+    """The same grid sharded across 4 worker processes."""
+    result = benchmark.pedantic(
+        lambda: SweepRunner(workers=4).run(SPEC), rounds=1, iterations=1
+    )
+    assert result.all_solved
+    benchmark.extra_info["configs_per_sec"] = len(SPEC.configs()) / benchmark.stats["mean"]

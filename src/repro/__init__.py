@@ -88,6 +88,14 @@ from repro.experiments import (
     generate_experiments_report,
     run_experiment,
 )
+from repro.sweeps import (
+    SweepConfig,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+    SweepStore,
+    worst_case_grid,
+)
 from repro.workloads import (
     WORKLOADS,
     WorkloadSuite,
@@ -143,6 +151,13 @@ __all__ = [
     "Campaign",
     "run_deterministic_batch",
     "run_randomized_batch",
+    # sweep orchestration
+    "SweepConfig",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "SweepStore",
+    "worst_case_grid",
     # workload suite
     "WORKLOADS",
     "WorkloadSuite",

@@ -1,6 +1,6 @@
 """Command-line interface for the repro library.
 
-Five subcommands cover the workflows a user needs without writing Python:
+Six subcommands cover the workflows a user needs without writing Python:
 
 ``simulate``
     Build one protocol, one wake-up pattern, run the simulation and print the
@@ -26,6 +26,14 @@ Five subcommands cover the workflows a user needs without writing Python:
     patterns, or ``run`` a whole batch against a protocol and print latency
     summary statistics.
 
+``sweep``
+    Orchestrate whole config grids through :mod:`repro.sweeps`: ``run`` a
+    grid (from a JSON spec file or inline axis flags) across worker
+    processes, ``resume`` an interrupted run from its on-disk store, print
+    the ``status`` of a store against a spec, or drive the randomized
+    ``worst-case`` search over the grid's (n, k) cells.  Results are
+    bit-for-bit identical for any worker count.
+
 Examples
 --------
 .. code-block:: bash
@@ -38,6 +46,9 @@ Examples
     python -m repro workloads sample --workload heavy-tailed --n 64 --k 8
     python -m repro workloads run --workload churn --protocol scenario-b \\
         --n 256 --k 16 --batch 256 --workers 4
+    python -m repro sweep run --protocols scenario-b scenario-c --n-values 256 512 \\
+        --k-values 8 16 --store sweep-store --workers 4
+    python -m repro sweep status --spec grid.json --store sweep-store
 """
 
 from __future__ import annotations
@@ -46,7 +57,6 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro.baselines import TDMA, KomlosGreenberg, tuned_aloha
 from repro.channel.adversary import (
     batched_pattern,
     simultaneous_pattern,
@@ -57,36 +67,28 @@ from repro.channel.simulator import run_deterministic, run_randomized
 from repro.channel.protocols import DeterministicProtocol
 from repro.core.lower_bounds import bound_table
 from repro.engine import Campaign
-from repro.core.local_clock import LocalClockWakeup
 from repro.core.matrix_search import find_waking_matrix_seed
-from repro.core.randomized import RepeatedProbabilityDecrease
-from repro.core.round_robin import RoundRobin
-from repro.core.scenario_a import WakeupWithS
-from repro.core.scenario_b import WakeupWithK
-from repro.core.scenario_c import WakeupProtocol
 from repro.experiments.config import FULL, QUICK, STANDARD
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.reporting.figures import render_trace
 from repro.reporting.tables import TextTable
+from repro.sweeps import SweepRunner, SweepSpec, SweepStore
+from repro.sweeps.protocols import PROTOCOL_BUILDERS, build_protocol
 from repro.workloads import WorkloadSuite
 
 __all__ = ["main", "build_parser"]
 
 _SCALES = {"quick": QUICK, "standard": STANDARD, "full": FULL}
 
-#: Protocol factories available to the ``simulate`` subcommand.
-PROTOCOLS = {
-    "round-robin": lambda args: RoundRobin(args.n),
-    "tdma": lambda args: TDMA(args.n),
-    "scenario-a": lambda args: WakeupWithS(args.n, s=0, rng=args.seed),
-    "scenario-b": lambda args: WakeupWithK(args.n, args.k, rng=args.seed),
-    "scenario-c": lambda args: WakeupProtocol(args.n, seed=args.seed),
-    "komlos-greenberg": lambda args: KomlosGreenberg(args.n, args.k, rng=args.seed),
-    "local-clock": lambda args: LocalClockWakeup(args.n, args.k, rng=args.seed),
-    "rpd": lambda args: RepeatedProbabilityDecrease(args.n),
-    "rpd-known-k": lambda args: RepeatedProbabilityDecrease(args.n, k=args.k),
-    "aloha": lambda args: tuned_aloha(args.n, args.k),
-}
+
+def _protocol_factory(name: str):
+    return lambda args: build_protocol(name, args.n, args.k, seed=args.seed)
+
+
+#: Protocol factories available to the ``simulate``/``workloads`` subcommands.
+#: Derived from the sweep subsystem's builder registry, so a protocol name
+#: means the same construction on the command line and in a sweep worker.
+PROTOCOLS = {name: _protocol_factory(name) for name in PROTOCOL_BUILDERS}
 
 #: Pattern factories available to the ``simulate`` subcommand.
 PATTERNS = {
@@ -153,6 +155,49 @@ def build_parser() -> argparse.ArgumentParser:
     wl.add_argument("--max-slots", type=int, default=1_000_000)
     wl.add_argument("--shard-size", type=int, default=256, help="patterns per campaign shard")
     wl.add_argument("--workers", type=int, default=0, help="worker threads (0 = serial)")
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run, resume or inspect a process-parallel config-grid sweep",
+        description="Shard a (protocol x n x k x workload x seed) config grid "
+        "across worker processes via repro.sweeps. The grid comes from a JSON "
+        "spec file (--spec) or from the inline axis flags; with --store, "
+        "finished configs are persisted one JSON record each, so `run` is "
+        "interruptible and `resume` (or a second `run`) picks up the "
+        "remainder. Results are bit-for-bit identical for any worker count. "
+        "Examples: `repro sweep run --protocols scenario-b --n-values 256 "
+        "--k-values 8 16 --store sweep-store --workers 4`; `repro sweep "
+        "status --spec grid.json --store sweep-store`.",
+    )
+    sweep.add_argument("action", choices=("run", "resume", "status", "worst-case"))
+    sweep.add_argument("--spec", default=None, help="JSON sweep-spec file (overrides axis flags)")
+    sweep.add_argument(
+        "--protocols", nargs="+", default=["scenario-b"], choices=sorted(PROTOCOLS),
+        metavar="PROTOCOL", help="protocol axis (see `simulate --help` for names)",
+    )
+    sweep.add_argument("--n-values", nargs="+", type=int, default=[256], help="universe-size axis")
+    sweep.add_argument(
+        "--k-values", nargs="+", type=int, default=None,
+        help="contender-budget axis (default: powers of two up to each n)",
+    )
+    sweep.add_argument("--workloads", nargs="+", default=["uniform"], help="workload axis")
+    sweep.add_argument("--seeds", nargs="+", type=int, default=[0], help="seed axis")
+    sweep.add_argument("--batch", type=int, default=64, help="patterns per config")
+    sweep.add_argument("--max-slots", type=int, default=200_000)
+    sweep.add_argument(
+        "--store", default=None,
+        help="result-store directory for run/resume/status (required for "
+        "resume/status; enables resumable runs; unused by worst-case)",
+    )
+    sweep.add_argument("--workers", type=int, default=0, help="worker processes (0 = serial)")
+    sweep.add_argument(
+        "--trials", type=int, default=32,
+        help="random candidates per cell for the `worst-case` action",
+    )
+    sweep.add_argument(
+        "--export", default=None, metavar="PATH",
+        help="write per-config summary rows to PATH (.csv or .json)",
+    )
     return parser
 
 
@@ -269,6 +314,112 @@ def _cmd_workloads_inner(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
+    if args.spec is not None:
+        return SweepSpec.load(args.spec)
+    return SweepSpec(
+        protocols=tuple(args.protocols),
+        n_values=tuple(args.n_values),
+        k_values=None if args.k_values is None else tuple(args.k_values),
+        workloads=tuple(args.workloads),
+        seeds=tuple(args.seeds),
+        batch=args.batch,
+        max_slots=args.max_slots,
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        spec = _sweep_spec_from_args(args)
+    except (OSError, KeyError, TypeError, ValueError) as exc:
+        print(f"error: invalid sweep spec: {exc}", file=sys.stderr)
+        return 2
+    if args.action in ("resume", "status") and args.store is None:
+        print(f"error: `sweep {args.action}` requires --store", file=sys.stderr)
+        return 2
+    store = SweepStore(args.store) if args.store else None
+    try:
+        runner = SweepRunner(workers=args.workers, store=store)
+        if args.action == "status":
+            status = runner.status(spec)
+            print(f"store  : {store.root}")
+            print(f"configs: {status.describe()}")
+            return 0
+        if args.action == "worst-case":
+            return _cmd_sweep_worst_case(args, spec)
+        result = runner.run(spec, progress=print)
+    except (KeyError, TypeError, ValueError) as exc:
+        # Unknown protocol/workload names, empty grids, invalid worker
+        # counts and protocol kinds an action cannot handle (worst-case is
+        # deterministic-only) are usage errors, not crashes: print the
+        # message, exit like argparse.
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    table = TextTable(
+        ["protocol", "n", "k", "workload", "seed", "solved", "mean latency", "max latency"]
+    )
+    for record in result.records:
+        config = record.config
+        summary = record.summary
+        table.add_row(
+            [
+                config.protocol,
+                config.n,
+                config.k,
+                config.workload,
+                config.seed,
+                f"{int(summary.get('solved', 0))}/{config.batch}",
+                round(summary.get("mean_latency", float("nan")), 1),
+                summary.get("max_latency", "-"),
+            ]
+        )
+    print(table.render())
+    print(f"{len(result)} configs ({result.reused} reused from store)")
+    if args.export:
+        from repro.reporting.export import write_rows
+
+        print(f"wrote {write_rows(result.rows(), args.export)}")
+    if not result.all_solved:
+        unsolved = sum(1 for record in result.records if not record.all_solved)
+        print(f"NOT SOLVED on {unsolved} of {len(result)} configs")
+        return 1
+    return 0
+
+
+def _cmd_sweep_worst_case(args: argparse.Namespace, spec: SweepSpec) -> int:
+    """The ``sweep worst-case`` action: `worst_case_search` over the grid."""
+    from repro.sweeps import worst_case_grid
+    from repro.sweeps.spec import powers_of_two_up_to
+
+    k_values = spec.k_values
+    if k_values is None:
+        k_values = powers_of_two_up_to(max(spec.n_values))
+    table = TextTable(["protocol", "n", "k", "worst latency", "solved"])
+    all_records = []
+    for name in spec.protocols:
+        all_records += worst_case_grid(
+            name,
+            spec.n_values,
+            k_values,
+            trials=args.trials,
+            max_slots=spec.max_slots,
+            seed=spec.seeds[0],
+            workers=args.workers,
+        )
+    for record in all_records:
+        table.add_row([record.protocol, record.n, record.k, record.latency, record.solved])
+    print(table.render())
+    if args.export:
+        from repro.reporting.export import write_rows
+
+        print(f"wrote {write_rows([record.row() for record in all_records], args.export)}")
+    if not all(record.solved for record in all_records):
+        print(f"NOT SOLVED on some cells (horizon {spec.max_slots})")
+        return 1
+    return 0
+
+
 def _cmd_verify_matrix(args: argparse.Namespace) -> int:
     try:
         seed, report = find_waking_matrix_seed(
@@ -296,6 +447,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "verify-matrix": _cmd_verify_matrix,
         "workloads": _cmd_workloads,
+        "sweep": _cmd_sweep,
     }
     return handlers[args.command](args)
 

@@ -31,7 +31,9 @@ by both protocol kinds:
   :class:`~repro.experiments.cache.FamilyCache` integration.
 
 The scenario generators that feed this engine live in
-:mod:`repro.workloads`.
+:mod:`repro.workloads`; the layer above it — whole config grids sharded
+across worker *processes*, with an on-disk resumable store — is
+:mod:`repro.sweeps`.
 """
 
 from repro.engine.batch import BatchResult, run_deterministic_batch, run_randomized_batch

@@ -43,6 +43,13 @@ class ExperimentScale:
         Simulation horizon (slots after the first wake-up).
     adversary_trials:
         Number of random patterns tried by the worst-case search.
+    workers:
+        Worker processes the multi-config experiment sweeps (E3/E5/E10/E11)
+        shard their per-config measurements across, via
+        :func:`repro.sweeps.runner.map_jobs`.  ``0``/``1`` resolves configs
+        serially; results are identical either way (the sweeps are
+        deterministic), so the default quick scale stays serial to keep CI
+        free of process-pool overhead.
     """
 
     name: str
@@ -52,6 +59,7 @@ class ExperimentScale:
     patterns_per_seed: int
     max_slots: int
     adversary_trials: int
+    workers: int = 0
 
     def k_values(self, n: int, *, cap: int | None = None) -> List[int]:
         """The ``k`` sweep for a given ``n``: powers of two plus fraction points."""
@@ -87,6 +95,7 @@ STANDARD = ExperimentScale(
     patterns_per_seed=3,
     max_slots=1_000_000,
     adversary_trials=24,
+    workers=4,
 )
 
 FULL = ExperimentScale(
@@ -97,4 +106,5 @@ FULL = ExperimentScale(
     patterns_per_seed=5,
     max_slots=4_000_000,
     adversary_trials=64,
+    workers=8,
 )

@@ -68,9 +68,9 @@ from repro.experiments.cache import FamilyCache, shared_cache
 from repro.experiments.config import ExperimentScale, QUICK
 from repro.experiments.runner import (
     ExperimentResult,
-    capped_latencies,
     measure_latency,
     resolve_batch,
+    sweep_latencies,
     worst_latency,
 )
 from repro.reporting.figures import ascii_line_plot, render_matrix_occupancy, render_trace
@@ -313,6 +313,11 @@ def experiment_e3_scenario_c(
     one slot after a window starts, maximizing the forced idle time of µ) in
     addition to the standard batch.  Measured worst latencies are normalized
     by ``k log n log log n``; the certificate asserts a uniform constant.
+
+    The (n, k) grid is measured in two phases: the patterns of every config
+    are drawn first (in the serial generator order), then the per-config
+    resolutions are sharded across ``scale.workers`` processes — identical
+    numbers for any worker count.
     """
     rng = as_generator(seed)
     result = ExperimentResult(
@@ -322,6 +327,7 @@ def experiment_e3_scenario_c(
     )
     table = TextTable(["n", "k", "worst latency", "k·logn·loglogn", "ratio"])
     points: List[Tuple[int, int, float]] = []
+    jobs, cells = [], []
     for n in scale.n_values:
         protocol = WakeupProtocol(n, seed=seed)
         k_cap = min(n, 256)
@@ -332,22 +338,24 @@ def experiment_e3_scenario_c(
                     n, k, window_length=protocol.params.window, rng=rng
                 )
             )
-            latency = worst_latency(protocol, patterns, max_slots=scale.max_slots)
-            bound = scenario_c_bound(n, k)
-            ratio = latency / bound
-            table.add_row([n, k, latency, bound, ratio])
-            points.append((n, k, float(max(1, latency))))
-            result.rows.append(
-                {
-                    "experiment": "E3",
-                    "protocol": "wakeup_scenario_c",
-                    "n": n,
-                    "k": k,
-                    "latency": latency,
-                    "bound": bound,
-                    "ratio": ratio,
-                }
-            )
+            jobs.append((protocol, patterns, scale.max_slots, False))
+            cells.append((n, k))
+    for (n, k), latency in zip(cells, sweep_latencies(jobs, workers=scale.workers)):
+        bound = scenario_c_bound(n, k)
+        ratio = latency / bound
+        table.add_row([n, k, latency, bound, ratio])
+        points.append((n, k, float(max(1, latency))))
+        result.rows.append(
+            {
+                "experiment": "E3",
+                "protocol": "wakeup_scenario_c",
+                "n": n,
+                "k": k,
+                "latency": latency,
+                "bound": bound,
+                "ratio": ratio,
+            }
+        )
     result.tables["scenario_c_latency"] = table.render()
     result.certificates.append(
         check_upper_bound(
@@ -481,16 +489,24 @@ def experiment_e5_scenario_gap(
         ["n", "k", "latency A", "latency B", "latency C", "gap C/A", "theory factor"]
     )
     ns, series_a, series_b, series_c = [], [], [], []
+    # Phase 1: draw every n's pattern batch and protocols (serial generator
+    # order); phase 2: resolve the three scenario measurements per n across
+    # scale.workers processes.
+    jobs, grid_ns = [], []
     for n in scale.n_values:
         if k > n:
             continue
         patterns = _pattern_batch(n, k, scale, rng)
-        protocol_a = WakeupWithS(n, s=0, families=cache.concatenation(n, n, seed=seed))
-        protocol_b = WakeupWithK(n, k, families=cache.concatenation(n, k, seed=seed))
-        protocol_c = WakeupProtocol(n, seed=seed)
-        latency_a = worst_latency(protocol_a, patterns, max_slots=scale.max_slots)
-        latency_b = worst_latency(protocol_b, patterns, max_slots=scale.max_slots)
-        latency_c = worst_latency(protocol_c, patterns, max_slots=scale.max_slots)
+        for protocol in (
+            WakeupWithS(n, s=0, families=cache.concatenation(n, n, seed=seed)),
+            WakeupWithK(n, k, families=cache.concatenation(n, k, seed=seed)),
+            WakeupProtocol(n, seed=seed),
+        ):
+            jobs.append((protocol, patterns, scale.max_slots, False))
+        grid_ns.append(n)
+    latencies = sweep_latencies(jobs, workers=scale.workers)
+    for position, n in enumerate(grid_ns):
+        latency_a, latency_b, latency_c = latencies[3 * position : 3 * position + 3]
         theory = (log2_safe(n) * loglog2_safe(n)) / log2_safe(n / k)
         table.add_row(
             [n, k, latency_a, latency_b, latency_c, latency_c / latency_a, theory]
@@ -883,15 +899,59 @@ def experiment_e10_ablations(
     k = max(2, min(16, n // 4))
     patterns = _pattern_batch(n, k, scale, rng)
 
+    # Phase 1: draw every ablation's patterns and protocols in the serial
+    # generator order, collecting one latency job per table cell; phase 2:
+    # resolve the whole battery across scale.workers processes at once.
+    jobs, cells = [], []
+
     # (a) window length
-    table_a = TextTable(["window", "worst latency"])
     default_window = matrix_parameters(n).window
     for window in sorted({1, default_window, max(1, matrix_parameters(n).rows)}):
         protocol = WakeupProtocol(n, window=window, seed=seed)
         window_patterns = patterns + [
             window_boundary_pattern(n, k, window_length=max(1, window), rng=rng)
         ]
-        latency = worst_latency(protocol, window_patterns, max_slots=scale.max_slots)
+        jobs.append((protocol, window_patterns, scale.max_slots, False))
+        cells.append(("window_length", window))
+
+    # (b) constant c
+    for c in (1, 2, 4):
+        protocol = WakeupProtocol(n, c=c, seed=seed)
+        jobs.append((protocol, patterns, scale.max_slots, False))
+        cells.append(("constant_c", (c, protocol.params.length)))
+
+    # (c) waiting rule
+    families = cache.concatenation(n, k, seed=seed)
+    wait_and_go = WaitAndGo(n, k, families=families)
+    no_wait = KomlosGreenberg(n, k, families=families)
+    boundaries = wait_and_go.boundary_slots(up_to=2 * wait_and_go.period)
+    adversarial = [
+        family_boundary_pattern(n, k, boundaries=boundaries, rng=rng)
+        for _ in range(scale.seeds + scale.patterns_per_seed)
+    ]
+    for name, protocol in (("wait_and_go", wait_and_go), ("no_wait (Komlos-Greenberg)", no_wait)):
+        jobs.append((protocol, adversarial, scale.max_slots, False))
+        cells.append(("waiting_rule", name))
+
+    # (d) interleaving
+    k_large = max(2, (3 * n) // 4)
+    large_patterns = _pattern_batch(n, k_large, scale, rng)
+    with_interleave = WakeupWithS(n, s=0, families=cache.concatenation(n, n, seed=seed))
+    without_interleave = SelectAmongTheFirst(n, 0, cache.concatenation(n, n, seed=seed))
+    for name, protocol in (
+        ("wakeup_with_s (interleaved)", with_interleave),
+        ("select_among_the_first only", without_interleave),
+    ):
+        jobs.append((protocol, large_patterns, scale.max_slots, False))
+        cells.append(("interleaving", name))
+
+    latencies = dict(zip(cells, sweep_latencies(jobs, workers=scale.workers)))
+
+    table_a = TextTable(["window", "worst latency"])
+    for ablation, window in cells:
+        if ablation != "window_length":
+            continue
+        latency = latencies[(ablation, window)]
         table_a.add_row([window, latency])
         result.rows.append(
             {
@@ -905,12 +965,13 @@ def experiment_e10_ablations(
         )
     result.tables["ablation_window_length"] = table_a.render()
 
-    # (b) constant c
     table_b = TextTable(["c", "worst latency", "matrix length"])
-    for c in (1, 2, 4):
-        protocol = WakeupProtocol(n, c=c, seed=seed)
-        latency = worst_latency(protocol, patterns, max_slots=scale.max_slots)
-        table_b.add_row([c, latency, protocol.params.length])
+    for ablation, cell in cells:
+        if ablation != "constant_c":
+            continue
+        c, matrix_length = cell
+        latency = latencies[(ablation, cell)]
+        table_b.add_row([c, latency, matrix_length])
         result.rows.append(
             {
                 "experiment": "E10",
@@ -923,18 +984,11 @@ def experiment_e10_ablations(
         )
     result.tables["ablation_constant_c"] = table_b.render()
 
-    # (c) waiting rule
-    families = cache.concatenation(n, k, seed=seed)
-    wait_and_go = WaitAndGo(n, k, families=families)
-    no_wait = KomlosGreenberg(n, k, families=families)
-    boundaries = wait_and_go.boundary_slots(up_to=2 * wait_and_go.period)
-    adversarial = [
-        family_boundary_pattern(n, k, boundaries=boundaries, rng=rng)
-        for _ in range(scale.seeds + scale.patterns_per_seed)
-    ]
     table_c = TextTable(["protocol", "worst latency (boundary-adversarial wake-ups)"])
-    for name, protocol in (("wait_and_go", wait_and_go), ("no_wait (Komlos-Greenberg)", no_wait)):
-        latency = worst_latency(protocol, adversarial, max_slots=scale.max_slots)
+    for ablation, name in cells:
+        if ablation != "waiting_rule":
+            continue
+        latency = latencies[(ablation, name)]
         table_c.add_row([name, latency])
         result.rows.append(
             {
@@ -948,17 +1002,11 @@ def experiment_e10_ablations(
         )
     result.tables["ablation_waiting_rule"] = table_c.render()
 
-    # (d) interleaving
-    k_large = max(2, (3 * n) // 4)
-    large_patterns = _pattern_batch(n, k_large, scale, rng)
-    with_interleave = WakeupWithS(n, s=0, families=cache.concatenation(n, n, seed=seed))
-    without_interleave = SelectAmongTheFirst(n, 0, cache.concatenation(n, n, seed=seed))
     table_d = TextTable(["protocol", "k", "worst latency"])
-    for name, protocol in (
-        ("wakeup_with_s (interleaved)", with_interleave),
-        ("select_among_the_first only", without_interleave),
-    ):
-        latency = worst_latency(protocol, large_patterns, max_slots=scale.max_slots)
+    for ablation, name in cells:
+        if ablation != "interleaving":
+            continue
+        latency = latencies[(ablation, name)]
         table_d.add_row([name, k_large, latency])
         result.rows.append(
             {
@@ -1002,12 +1050,15 @@ def experiment_e11_global_vs_local_clock(
     table = TextTable(
         ["k", "wait_and_go (global)", "local-clock schedule", "scenario C (global)", "scenario C (local)"]
     )
+    # Phase 1: draw every k's pattern battery and the four clock variants
+    # (serial generator order); phase 2: resolve the whole grid across
+    # scale.workers processes.  Unsolved rows count as the horizon, exactly
+    # like the old per-pattern loop (capped jobs); all four protocols are
+    # deterministic, so sharding cannot change the numbers.
+    variants = ("global_b", "local_b", "global_c", "local_c")
+    jobs, grid_ks = [], []
     for k in scale.k_values(n, cap=min(n, 64)):
         families = cache.concatenation(n, k, seed=seed)
-        global_b = WakeupWithK(n, k, families=families)
-        local_b = LocalClockWakeup(n, k, families=families)
-        global_c = WakeupProtocol(n, seed=seed)
-        local_c = LocalClockScenarioC(n, seed=seed)
         patterns = [
             _suite().get("staggered").draw(n, k, gap=1, stations=list(range(n - k + 1, n + 1))),
             _suite().get("staggered").draw(n, k, gap=3, rng=rng),
@@ -1015,18 +1066,17 @@ def experiment_e11_global_vs_local_clock(
         patterns += _suite().generate(
             "uniform", n=n, k=k, batch=scale.patterns_per_seed, seed=rng, window=4 * k
         )
-        latencies = {}
-        for name, protocol in (
-            ("global_b", global_b),
-            ("local_b", local_b),
-            ("global_c", global_c),
-            ("local_c", local_c),
+        for protocol in (
+            WakeupWithK(n, k, families=families),
+            LocalClockWakeup(n, k, families=families),
+            WakeupProtocol(n, seed=seed),
+            LocalClockScenarioC(n, seed=seed),
         ):
-            # One batched engine call per protocol; unsolved rows count as
-            # the horizon, exactly like the old per-pattern loop.
-            latencies[name] = max(
-                capped_latencies(protocol, patterns, max_slots=scale.max_slots, rng=rng)
-            )
+            jobs.append((protocol, patterns, scale.max_slots, True))
+        grid_ks.append(k)
+    resolved = sweep_latencies(jobs, workers=scale.workers)
+    for position, k in enumerate(grid_ks):
+        latencies = dict(zip(variants, resolved[4 * position : 4 * position + 4]))
         table.add_row(
             [k, latencies["global_b"], latencies["local_b"], latencies["global_c"], latencies["local_c"]]
         )

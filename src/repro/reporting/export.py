@@ -12,7 +12,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Sequence, Union
 
-__all__ = ["results_to_csv", "results_to_json", "write_csv", "write_json"]
+__all__ = ["results_to_csv", "results_to_json", "write_csv", "write_json", "write_rows"]
 
 PathLike = Union[str, Path]
 
@@ -72,3 +72,15 @@ def write_json(rows: Iterable[Mapping[str, Any]], path: PathLike, *, indent: int
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(results_to_json(rows, indent=indent))
     return path
+
+
+def write_rows(rows: Iterable[Mapping[str, Any]], path: PathLike) -> Path:
+    """Write rows to ``path``, picking the format from its suffix.
+
+    ``.json`` writes a JSON array; anything else writes CSV (the default the
+    ``repro sweep --export`` and experiment harnesses share).
+    """
+    path = Path(path)
+    if path.suffix.lower() == ".json":
+        return write_json(rows, path)
+    return write_csv(rows, path)

@@ -1,0 +1,153 @@
+"""Named protocol builders: construct any library protocol from primitives.
+
+A sweep config travels between processes as plain data — a protocol *name*
+plus ``(n, k, seed)`` — and each worker reconstructs the protocol object on
+its side of the pipe.  This registry is the single place that mapping lives:
+the CLI's ``simulate``/``workloads`` subcommands and the sweep workers all
+build protocols through :func:`build_protocol`, so a name means the same
+protocol everywhere.
+
+Construction is deterministic: the same ``(name, n, k, seed)`` always yields
+a protocol with identical behaviour, which is what makes sweep results
+worker-count invariant (see :mod:`repro.sweeps.runner`).  Builders that need
+selective families draw them from a :class:`~repro.experiments.cache.FamilyCache`
+(the process-wide :data:`~repro.experiments.cache.shared_cache` by default),
+so a worker process pays for each ``(n, seed)`` concatenation once no matter
+how many configs it resolves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+__all__ = ["PROTOCOL_BUILDERS", "protocol_names", "register_protocol", "build_protocol"]
+
+#: Registry of protocol builders ``(n, k, seed, cache) -> protocol``.
+PROTOCOL_BUILDERS: Dict[str, Callable] = {}
+
+
+def register_protocol(name: str, builder: Callable, *, replace: bool = False) -> None:
+    """Register a named protocol builder ``(n, k, seed, cache) -> protocol``.
+
+    ``replace=False`` (the default) refuses to overwrite an existing name, so
+    extensions cannot silently shadow the built-in set.
+    """
+    if not replace and name in PROTOCOL_BUILDERS:
+        raise ValueError(f"protocol {name!r} is already registered")
+    PROTOCOL_BUILDERS[name] = builder
+
+
+def protocol_names() -> list:
+    """Registered protocol names, sorted."""
+    return sorted(PROTOCOL_BUILDERS)
+
+
+def build_protocol(name: str, n: int, k: int = 1, *, seed: int = 0, cache=None):
+    """Build one protocol from its registry name and ``(n, k, seed)``.
+
+    Parameters
+    ----------
+    name:
+        Registry key (see :func:`protocol_names`).
+    n, k:
+        Universe size and contender budget.  Builders that do not use ``k``
+        (e.g. ``round-robin``) ignore it.
+    seed:
+        Seed for every stochastic ingredient of the construction (selective
+        families, waking-matrix hash).  Purely randomized policies such as
+        ``rpd`` are built deterministically and draw their randomness at
+        simulation time instead.
+    cache:
+        :class:`~repro.experiments.cache.FamilyCache` serving selective
+        families (default: the process-wide shared cache).
+    """
+    try:
+        builder = PROTOCOL_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown protocol {name!r}; registered: {protocol_names()}"
+        ) from None
+    if cache is None:
+        from repro.experiments.cache import shared_cache
+
+        cache = shared_cache
+    return builder(n, k, seed, cache)
+
+
+def _build_round_robin(n, k, seed, cache):
+    from repro.core.round_robin import RoundRobin
+
+    return RoundRobin(n)
+
+
+def _build_tdma(n, k, seed, cache):
+    from repro.baselines import TDMA
+
+    return TDMA(n)
+
+
+def _build_scenario_a(n, k, seed, cache):
+    from repro.core.scenario_a import WakeupWithS
+
+    return WakeupWithS(n, s=0, families=cache.concatenation(n, n, seed=seed))
+
+
+def _build_scenario_b(n, k, seed, cache):
+    from repro.core.scenario_b import WakeupWithK
+
+    return WakeupWithK(n, k, families=cache.concatenation(n, k, seed=seed))
+
+
+def _build_scenario_c(n, k, seed, cache):
+    from repro.core.scenario_c import WakeupProtocol
+
+    return WakeupProtocol(n, seed=seed)
+
+
+def _build_komlos_greenberg(n, k, seed, cache):
+    from repro.baselines import KomlosGreenberg
+
+    return KomlosGreenberg(n, k, families=cache.concatenation(n, k, seed=seed))
+
+
+def _build_local_clock(n, k, seed, cache):
+    from repro.core.local_clock import LocalClockWakeup
+
+    return LocalClockWakeup(n, k, families=cache.concatenation(n, k, seed=seed))
+
+
+def _build_local_clock_c(n, k, seed, cache):
+    from repro.core.local_clock import LocalClockScenarioC
+
+    return LocalClockScenarioC(n, seed=seed)
+
+
+def _build_rpd(n, k, seed, cache):
+    from repro.core.randomized import RepeatedProbabilityDecrease
+
+    return RepeatedProbabilityDecrease(n)
+
+
+def _build_rpd_known_k(n, k, seed, cache):
+    from repro.core.randomized import RepeatedProbabilityDecrease
+
+    return RepeatedProbabilityDecrease(n, k=k)
+
+
+def _build_aloha(n, k, seed, cache):
+    from repro.baselines import tuned_aloha
+
+    return tuned_aloha(n, k)
+
+
+register_protocol("round-robin", _build_round_robin)
+register_protocol("tdma", _build_tdma)
+register_protocol("scenario-a", _build_scenario_a)
+register_protocol("scenario-b", _build_scenario_b)
+register_protocol("scenario-c", _build_scenario_c)
+register_protocol("komlos-greenberg", _build_komlos_greenberg)
+register_protocol("local-clock", _build_local_clock)
+register_protocol("local-clock-c", _build_local_clock_c)
+register_protocol("rpd", _build_rpd)
+register_protocol("rpd-known-k", _build_rpd_known_k)
+register_protocol("aloha", _build_aloha)

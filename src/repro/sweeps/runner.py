@@ -1,0 +1,249 @@
+"""Process-parallel sweep execution: shard config grids across workers.
+
+The batch engine (:mod:`repro.engine`) made a *single* config fast; this
+module makes a *grid* of configs fast.  A :class:`SweepRunner` partitions the
+pending configs of a :class:`~repro.sweeps.spec.SweepSpec` across
+:class:`concurrent.futures.ProcessPoolExecutor` workers — unlike a
+:class:`~repro.engine.Campaign`'s threads, separate processes sidestep the
+GIL for the Python-side share of pattern generation and protocol
+construction, and isolate per-config memory — and merges the finished
+:class:`~repro.sweeps.store.ConfigRecord` rows back in grid order.
+
+Worker-count invariance
+-----------------------
+
+Sweep results are bit-for-bit identical no matter how the grid is sharded
+(serial, 4 workers, resumed across sessions), because every config is
+resolved from its own content alone:
+
+* patterns come from ``WorkloadSuite.generate(workload, n, k, batch, seed)``,
+  whose per-row generators are ``SeedSequence``-spawned from the config seed
+  keyed by the workload name (see :mod:`repro._util`);
+* randomized policies draw from per-pattern child streams spawned from the
+  config seed by the :class:`~repro.engine.Campaign` inside the worker;
+* protocol construction is deterministic in ``(name, n, k, seed)``
+  (:mod:`repro.sweeps.protocols`).
+
+No shared mutable stream crosses configs, so scheduling order cannot leak
+into outcomes.  ``tests/sweeps`` asserts the invariance explicitly.
+
+Resumability
+------------
+
+With a :class:`~repro.sweeps.store.SweepStore` attached, every record is
+persisted the moment its config completes and already-stored configs are
+never recomputed, so an interrupted ``repro sweep run`` picks up where it
+left off and overlapping sweeps share work across sessions.
+
+One portability caveat: workers resolve workload and protocol *names*
+against their own process's registries.  Extensions registered in-process
+(``register_workload`` / ``register_protocol``) are visible to forked
+workers (Linux) but not to spawned ones (macOS/Windows default start
+method) — ship cross-platform extensions as ``repro.workloads`` entry
+points, which every worker loads on import, or run with ``workers <= 1``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
+
+from repro.engine import BatchResult, Campaign
+from repro.sweeps.spec import SweepConfig, SweepSpec
+from repro.sweeps.store import ConfigRecord, SweepStore
+
+__all__ = ["SweepRunner", "SweepResult", "SweepStatus", "resolve_config", "map_jobs"]
+
+_Job = TypeVar("_Job")
+_Out = TypeVar("_Out")
+
+
+def resolve_config(config: SweepConfig) -> ConfigRecord:
+    """Resolve one config end to end; the unit of work a sweep worker runs.
+
+    Builds the protocol from the config's name axes, draws the pattern batch
+    through the workload suite, pushes it through a serial
+    :class:`~repro.engine.Campaign` (parallelism lives at the config level —
+    nesting thread workers inside process workers would oversubscribe), and
+    returns the full-outcome :class:`~repro.sweeps.store.ConfigRecord`.
+    """
+    from repro.sweeps.protocols import build_protocol
+    from repro.workloads import WorkloadSuite
+
+    protocol = build_protocol(config.protocol, config.n, config.k, seed=config.seed)
+    patterns = WorkloadSuite().generate(
+        config.workload,
+        n=config.n,
+        k=config.k,
+        batch=config.batch,
+        seed=config.seed,
+        **dict(config.params),
+    )
+    campaign = Campaign(protocol, max_slots=config.max_slots, seed=config.seed)
+    return ConfigRecord.from_batch(config, campaign.run(patterns))
+
+
+def map_jobs(
+    fn: Callable[[_Job], _Out],
+    jobs: Sequence[_Job],
+    *,
+    workers: int = 0,
+    on_result: Optional[Callable[[int, _Out], None]] = None,
+) -> List[_Out]:
+    """Map a picklable function over jobs, serially or across processes.
+
+    The process-sharding primitive shared by :class:`SweepRunner`, the
+    worst-case grid driver (:mod:`repro.sweeps.search`) and the experiment
+    registry's sweeps.  ``workers <= 1`` (or a single job) runs serially in
+    the calling process; results always come back in job order, and callers
+    must guarantee ``fn`` is order-independent (pure in its job) so the two
+    paths agree bit for bit.
+
+    ``on_result(index, result)`` fires as each job finishes (completion
+    order) — the hook the sweep store uses to persist records incrementally.
+    """
+    jobs = list(jobs)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers <= 1 or len(jobs) <= 1:
+        results: List[_Out] = []
+        for index, job in enumerate(jobs):
+            result = fn(job)
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
+    out: Dict[int, _Out] = {}
+    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+        pending = {pool.submit(fn, job): index for index, job in enumerate(jobs)}
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = pending.pop(future)
+                result = future.result()
+                if on_result is not None:
+                    on_result(index, result)
+                out[index] = result
+    return [out[index] for index in range(len(jobs))]
+
+
+@dataclass(frozen=True)
+class SweepStatus:
+    """Progress of a spec against a store: what is done, what remains."""
+
+    total: int
+    completed: int
+
+    @property
+    def pending(self) -> int:
+        return self.total - self.completed
+
+    def describe(self) -> str:
+        return f"{self.completed}/{self.total} configs completed, {self.pending} pending"
+
+
+@dataclass
+class SweepResult:
+    """Ordered per-config records of one sweep run.
+
+    ``records`` aligns with the spec's grid order regardless of how many
+    workers resolved it or how many records came from the store.
+    """
+
+    records: List[ConfigRecord] = field(default_factory=list)
+    reused: int = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def all_solved(self) -> bool:
+        """True iff every pattern of every config solved within its horizon."""
+        return all(record.all_solved for record in self.records)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Flat export rows (one per config) for ``repro.reporting.export``."""
+        return [record.row() for record in self.records]
+
+    def batch_results(self) -> List[BatchResult]:
+        """Reconstructed :class:`BatchResult` per config, in grid order."""
+        return [record.to_batch_result() for record in self.records]
+
+
+@dataclass
+class SweepRunner:
+    """Shard a config grid across worker processes, with store-backed resume.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes; ``0`` or ``1`` resolves configs serially in the
+        calling process (identical results — sharding is scheduling only).
+    store:
+        Optional :class:`~repro.sweeps.store.SweepStore`.  When set, stored
+        configs are served from disk instead of recomputed and fresh records
+        are persisted as they complete, making the sweep resumable.
+    """
+
+    workers: int = 0
+    store: Optional[SweepStore] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+
+    def _expand(self, spec: Union[SweepSpec, Sequence[SweepConfig]]) -> List[SweepConfig]:
+        if isinstance(spec, SweepSpec):
+            return spec.configs()
+        return list(spec)
+
+    def run(
+        self,
+        spec: Union[SweepSpec, Sequence[SweepConfig]],
+        *,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> SweepResult:
+        """Resolve every config of ``spec`` (a spec or an explicit config list).
+
+        Already-stored configs are reused; the rest are sharded across the
+        worker pool.  ``progress`` (if given) receives one line per resolved
+        config, in completion order.
+        """
+        configs = self._expand(spec)
+        records: Dict[int, ConfigRecord] = {}
+        pending: List[SweepConfig] = []
+        pending_indices: List[int] = []
+        for index, config in enumerate(configs):
+            stored = self.store.load(config) if self.store is not None else None
+            if stored is not None:
+                records[index] = stored
+            else:
+                pending.append(config)
+                pending_indices.append(index)
+        reused = len(records)
+
+        def _finished(position: int, record: ConfigRecord) -> None:
+            if self.store is not None:
+                self.store.save(record)
+            if progress is not None:
+                progress(f"resolved {record.config.label()}")
+
+        fresh = map_jobs(resolve_config, pending, workers=self.workers, on_result=_finished)
+        for index, record in zip(pending_indices, fresh):
+            records[index] = record
+        return SweepResult(
+            records=[records[index] for index in range(len(configs))], reused=reused
+        )
+
+    def status(self, spec: Union[SweepSpec, Sequence[SweepConfig]]) -> SweepStatus:
+        """How much of ``spec`` the attached store already covers."""
+        configs = self._expand(spec)
+        if self.store is None:
+            return SweepStatus(total=len(configs), completed=0)
+        return SweepStatus(
+            total=len(configs), completed=len(self.store.completed(configs))
+        )

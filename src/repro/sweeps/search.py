@@ -1,0 +1,100 @@
+"""Process-parallel worst-case search over an (n, k) grid.
+
+:func:`repro.channel.adversary.worst_case_search` finds a bad wake-up pattern
+for *one* protocol configuration; experiment tables want that column for a
+whole grid.  :func:`worst_case_grid` shards the grid across processes through
+the same :func:`~repro.sweeps.runner.map_jobs` primitive the sweep runner
+uses: each job rebuilds its protocol from the registry name
+(:mod:`repro.sweeps.protocols`) and derives the search's generator from the
+config content alone (``SeedSequence`` keyed by protocol, n and k — see
+:mod:`repro._util`), so the reported worst cases are bit-for-bit identical
+for any worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["WorstCaseRecord", "worst_case_grid"]
+
+
+@dataclass(frozen=True)
+class WorstCaseRecord:
+    """The worst candidate found for one (protocol, n, k) cell.
+
+    ``latency`` is the run's latency when solved, else ``max_slots`` (the
+    horizon sentinel, matching the sequential search's convention).
+    ``wake_times`` reproduces the offending pattern exactly.
+    """
+
+    protocol: str
+    n: int
+    k: int
+    latency: int
+    solved: bool
+    wake_times: Dict[int, int]
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for CSV/JSON export."""
+        return {
+            "protocol": self.protocol,
+            "n": self.n,
+            "k": self.k,
+            "latency": self.latency,
+            "solved": self.solved,
+            "pattern_size": len(self.wake_times),
+        }
+
+
+def _worst_case_job(job: Tuple[str, int, int, int, int, int, int]) -> WorstCaseRecord:
+    """Resolve one grid cell (top-level so it pickles into worker processes)."""
+    from repro._util import derived_generator
+    from repro.channel.adversary import worst_case_search
+    from repro.sweeps.protocols import build_protocol
+
+    name, n, k, trials, window, max_slots, seed = job
+    protocol = build_protocol(name, n, k, seed=seed)
+    rng = derived_generator(seed, "worst-case-grid", name, n, k)
+    result, pattern = worst_case_search(
+        protocol, n, k, trials=trials, window=window, max_slots=max_slots, rng=rng
+    )
+    return WorstCaseRecord(
+        protocol=name,
+        n=n,
+        k=k,
+        latency=int(result.latency) if result.solved else int(max_slots),
+        solved=bool(result.solved),
+        wake_times=dict(pattern.wake_times),
+    )
+
+
+def worst_case_grid(
+    protocol: str,
+    n_values: Sequence[int],
+    k_values: Sequence[int],
+    *,
+    trials: int = 32,
+    window: int = 256,
+    max_slots: int = 200_000,
+    seed: int = 0,
+    workers: int = 0,
+) -> List[WorstCaseRecord]:
+    """Run :func:`worst_case_search` over the (n, k) grid, process-parallel.
+
+    Cells with ``k > n`` are skipped; records come back in grid order
+    (``n`` major, ``k`` minor).  ``workers`` shards cells across processes
+    exactly like a :class:`~repro.sweeps.runner.SweepRunner` shards configs
+    — results do not depend on the worker count.
+    """
+    from repro.sweeps.runner import map_jobs
+
+    jobs = [
+        (protocol, int(n), int(k), trials, window, max_slots, seed)
+        for n in n_values
+        for k in k_values
+        if k <= n
+    ]
+    if not jobs:
+        raise ValueError("worst-case grid is empty (every k exceeded its n)")
+    return map_jobs(_worst_case_job, jobs, workers=workers)

@@ -1,0 +1,178 @@
+"""On-disk sweep results: one JSON record per config, keyed by config hash.
+
+The store is what makes sweeps *resumable*: every resolved config is written
+as ``<config_hash>.json`` under the store root the moment it completes, so an
+interrupted sweep loses at most the configs that were in flight, and a re-run
+(or a larger sweep sharing configs with an earlier one) skips everything
+already on disk.  Records carry the full per-pattern outcome columns — not
+just summary statistics — so a resumed sweep returns results bit-for-bit
+identical to an uninterrupted serial run, and a stored record can be lifted
+back into a :class:`~repro.engine.BatchResult` for further analysis.
+
+Writes are atomic (temp file + :func:`os.replace`), so a crash mid-write
+never leaves a truncated record behind for a resume to trip over.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.engine import BatchResult
+from repro.sweeps.spec import SweepConfig
+
+__all__ = ["ConfigRecord", "SweepStore"]
+
+#: Columns persisted per config (aligned, one entry per pattern).
+_COLUMNS = ("solved", "k", "first_wake", "success_slot", "winner", "latency", "slots_examined")
+
+#: Schema version stamped into every record file.
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ConfigRecord:
+    """One resolved config: its identity plus the full outcome columns.
+
+    Attributes
+    ----------
+    config:
+        The :class:`~repro.sweeps.spec.SweepConfig` that was resolved.
+    protocol_label:
+        ``protocol.describe()`` of the protocol instance that ran.
+    columns:
+        Per-pattern outcome columns as plain lists (see
+        :class:`~repro.engine.BatchResult` for their meaning).
+    summary:
+        ``BatchResult.summary()`` statistics of the batch.
+    """
+
+    config: SweepConfig
+    protocol_label: str
+    columns: Dict[str, list]
+    summary: Dict[str, float]
+
+    @classmethod
+    def from_batch(cls, config: SweepConfig, batch: BatchResult) -> "ConfigRecord":
+        """Build a record from a freshly resolved :class:`BatchResult`."""
+        return cls(
+            config=config,
+            protocol_label=batch.protocol,
+            columns={name: getattr(batch, name).tolist() for name in _COLUMNS},
+            summary=batch.summary(),
+        )
+
+    def to_batch_result(self) -> BatchResult:
+        """Reconstruct the :class:`BatchResult` the record was built from."""
+        return BatchResult(
+            protocol=self.protocol_label,
+            n=self.config.n,
+            solved=np.asarray(self.columns["solved"], dtype=bool),
+            k=np.asarray(self.columns["k"], dtype=np.int64),
+            first_wake=np.asarray(self.columns["first_wake"], dtype=np.int64),
+            success_slot=np.asarray(self.columns["success_slot"], dtype=np.int64),
+            winner=np.asarray(self.columns["winner"], dtype=np.int64),
+            latency=np.asarray(self.columns["latency"], dtype=np.int64),
+            slots_examined=np.asarray(self.columns["slots_examined"], dtype=np.int64),
+        )
+
+    @property
+    def all_solved(self) -> bool:
+        """True iff every pattern of the config solved within the horizon."""
+        return all(self.columns["solved"])
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-data form written to disk."""
+        return {
+            "version": _VERSION,
+            "hash": self.config.config_hash(),
+            "config": self.config.as_dict(),
+            "protocol_label": self.protocol_label,
+            "columns": self.columns,
+            "summary": self.summary,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ConfigRecord":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            config=SweepConfig.from_dict(data["config"]),
+            protocol_label=data["protocol_label"],
+            columns={name: list(data["columns"][name]) for name in _COLUMNS},
+            summary=dict(data["summary"]),
+        )
+
+    def row(self) -> Dict[str, object]:
+        """Flat config+summary dict for CSV/JSON export (one row per config)."""
+        out = self.config.as_dict()
+        # Flatten the params mapping into one readable column so rows that
+        # differ only in workload parameters stay distinguishable in a CSV.
+        out["params"] = ",".join(f"{k}={v}" for k, v in sorted(out["params"].items()))
+        out["hash"] = self.config.config_hash()
+        out.update(self.summary)
+        return out
+
+
+class SweepStore:
+    """Directory of per-config result records, keyed by config hash.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created on first write.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path_for(self, config: SweepConfig) -> Path:
+        """The record file a config maps to (whether or not it exists)."""
+        return self.root / f"{config.config_hash()}.json"
+
+    def __contains__(self, config: SweepConfig) -> bool:
+        return self.path_for(config).exists()
+
+    def save(self, record: ConfigRecord) -> Path:
+        """Atomically persist one record; returns its path.
+
+        The temp name is unique per writer (``tempfile`` in the store root),
+        so concurrent sweeps sharing a store cannot interleave their writes:
+        whichever ``os.replace`` lands last wins with an intact record.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(record.config)
+        fd, tmp = tempfile.mkstemp(
+            prefix=f"{record.config.config_hash()}.", suffix=".tmp", dir=self.root
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(record.as_dict()))
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def load(self, config: SweepConfig) -> Optional[ConfigRecord]:
+        """Load the record for ``config``, or ``None`` if not stored yet."""
+        path = self.path_for(config)
+        if not path.exists():
+            return None
+        return ConfigRecord.from_dict(json.loads(path.read_text()))
+
+    def completed(self, configs: Sequence[SweepConfig]) -> List[SweepConfig]:
+        """The subset of ``configs`` that already have a stored record."""
+        return [config for config in configs if config in self]
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))

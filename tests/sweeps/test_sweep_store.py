@@ -1,0 +1,85 @@
+"""Tests for repro.sweeps.store: record round trips and store behaviour."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.sweeps.runner import resolve_config
+from repro.sweeps.spec import SweepConfig
+from repro.sweeps.store import ConfigRecord, SweepStore
+
+CONFIG = SweepConfig(protocol="round-robin", n=32, k=4, batch=6, max_slots=10_000)
+
+
+class TestConfigRecord:
+    def test_round_trips_through_dict(self):
+        record = resolve_config(CONFIG)
+        clone = ConfigRecord.from_dict(record.as_dict())
+        assert clone == record
+
+    def test_batch_result_reconstruction_is_exact(self):
+        record = resolve_config(CONFIG)
+        batch = record.to_batch_result()
+        assert batch.protocol == record.protocol_label
+        assert batch.n == CONFIG.n
+        assert len(batch) == CONFIG.batch
+        for name in ("solved", "k", "first_wake", "success_slot", "winner", "latency"):
+            assert getattr(batch, name).tolist() == record.columns[name]
+        assert batch.summary() == record.summary
+
+    def test_export_row_is_flat(self):
+        row = resolve_config(CONFIG).row()
+        assert row["protocol"] == "round-robin"
+        assert row["hash"] == CONFIG.config_hash()
+        assert "max_latency" in row
+        assert all(np.isscalar(v) or isinstance(v, str) for v in row.values())
+
+
+class TestSweepStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = SweepStore(tmp_path / "store")
+        assert CONFIG not in store
+        assert store.load(CONFIG) is None
+        record = resolve_config(CONFIG)
+        path = store.save(record)
+        assert path.name == f"{CONFIG.config_hash()}.json"
+        assert CONFIG in store
+        assert store.load(CONFIG) == record
+        assert len(store) == 1
+
+    def test_save_is_atomic_no_tmp_left_behind(self, tmp_path):
+        store = SweepStore(tmp_path / "store")
+        store.save(resolve_config(CONFIG))
+        assert list(store.root.glob("*.tmp")) == []
+
+    def test_concurrent_saves_of_one_config_stay_intact(self, tmp_path):
+        # Two sweeps sharing a store may resolve the same config at once;
+        # each save writes through its own unique temp file, so the record
+        # that lands is always intact (last intact writer wins).
+        import threading
+
+        store = SweepStore(tmp_path / "store")
+        record = resolve_config(CONFIG)
+        threads = [threading.Thread(target=store.save, args=(record,)) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert store.load(CONFIG) == record
+        assert list(store.root.glob("*.tmp")) == []
+
+    def test_completed_filters_by_presence(self, tmp_path):
+        store = SweepStore(tmp_path / "store")
+        other = SweepConfig(protocol="round-robin", n=32, k=8, batch=6, max_slots=10_000)
+        store.save(resolve_config(CONFIG))
+        assert store.completed([CONFIG, other]) == [CONFIG]
+
+    def test_record_file_is_valid_json_with_identity(self, tmp_path):
+        store = SweepStore(tmp_path / "store")
+        path = store.save(resolve_config(CONFIG))
+        data = json.loads(path.read_text())
+        assert data["hash"] == CONFIG.config_hash()
+        assert data["config"] == CONFIG.as_dict()
+        assert data["version"] == 1

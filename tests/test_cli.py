@@ -146,6 +146,111 @@ class TestWorkloadsCommand:
         assert "NOT SOLVED" in out
 
 
+class TestSweepCommand:
+    INLINE = [
+        "--protocols", "round-robin", "scenario-b", "--n-values", "32",
+        "--k-values", "4", "--batch", "6", "--max-slots", "20000",
+    ]
+
+    def test_run_inline_grid(self, capsys):
+        assert main(["sweep", "run", *self.INLINE]) == 0
+        out = capsys.readouterr().out
+        assert "round-robin" in out and "scenario-b" in out
+        assert "2 configs (0 reused from store)" in out
+
+    def test_run_with_store_then_resume(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["sweep", "run", *self.INLINE, "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "resume", *self.INLINE, "--store", store, "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 reused from store" in out
+
+    def test_status_reports_coverage(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["sweep", "status", *self.INLINE, "--store", store]) == 0
+        assert "0/2 configs completed" in capsys.readouterr().out
+        main(["sweep", "run", *self.INLINE, "--store", store])
+        capsys.readouterr()
+        assert main(["sweep", "status", *self.INLINE, "--store", store]) == 0
+        assert "2/2 configs completed" in capsys.readouterr().out
+
+    def test_spec_file_round_trip(self, capsys, tmp_path):
+        from repro.sweeps import SweepSpec
+
+        spec_path = tmp_path / "grid.json"
+        SweepSpec(
+            protocols=("round-robin",), n_values=(32,), k_values=(4,),
+            batch=4, max_slots=20_000,
+        ).save(spec_path)
+        assert main(["sweep", "run", "--spec", str(spec_path)]) == 0
+        assert "1 configs" in capsys.readouterr().out
+
+    def test_export_writes_rows(self, capsys, tmp_path):
+        csv_path = tmp_path / "rows.csv"
+        assert main(["sweep", "run", *self.INLINE, "--export", str(csv_path)]) == 0
+        text = csv_path.read_text()
+        assert text.startswith("protocol,")
+        assert "round-robin" in text
+
+    def test_resume_without_store_is_usage_error(self, capsys):
+        assert main(["sweep", "resume", *self.INLINE]) == 2
+        assert "requires --store" in capsys.readouterr().err
+
+    def test_worst_case_action_prints_grid(self, capsys):
+        exit_code = main([
+            "sweep", "worst-case", "--protocols", "scenario-b", "--n-values", "32",
+            "--k-values", "4", "8", "--trials", "4", "--max-slots", "20000",
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "worst latency" in out
+        assert out.count("scenario-b") == 2  # one row per (n, k) cell
+
+    def test_worst_case_rejects_randomized_protocols_cleanly(self, capsys):
+        exit_code = main([
+            "sweep", "worst-case", "--protocols", "rpd", "--n-values", "32",
+            "--k-values", "4", "--trials", "2",
+        ])
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_worst_case_export_writes_rows(self, capsys, tmp_path):
+        csv_path = tmp_path / "wc.csv"
+        exit_code = main([
+            "sweep", "worst-case", "--protocols", "round-robin", "--n-values", "32",
+            "--k-values", "4", "--trials", "2", "--export", str(csv_path),
+        ])
+        assert exit_code == 0
+        assert "round-robin" in csv_path.read_text()
+
+    def test_negative_workers_is_usage_error(self, capsys):
+        assert main(["sweep", "run", *self.INLINE, "--workers", "-1"]) == 2
+        assert "workers must be >= 0" in capsys.readouterr().err
+
+    def test_empty_grid_is_usage_error_for_run_and_status(self, capsys, tmp_path):
+        empty = ["--protocols", "round-robin", "--n-values", "4", "--k-values", "8"]
+        assert main(["sweep", "run", *empty]) == 2
+        assert "empty grid" in capsys.readouterr().err
+        assert main(["sweep", "status", *empty, "--store", str(tmp_path / "s")]) == 2
+        assert "empty grid" in capsys.readouterr().err
+
+    def test_bad_spec_file_is_usage_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"protocols": []}')
+        assert main(["sweep", "run", "--spec", str(bad)]) == 2
+        assert "invalid sweep spec" in capsys.readouterr().err
+
+    def test_unsolved_grid_returns_nonzero(self, capsys):
+        exit_code = main([
+            "sweep", "run", "--protocols", "round-robin", "--n-values", "64",
+            "--k-values", "8", "--workloads", "simultaneous", "--batch", "3",
+            "--max-slots", "1",
+        ])
+        assert exit_code == 1
+        assert "NOT SOLVED" in capsys.readouterr().out
+
+
 class TestVerifyMatrixCommand:
     def test_finds_seed(self, capsys):
         exit_code = main(["verify-matrix", "--n", "32", "--attempts", "3", "--seed", "1"])

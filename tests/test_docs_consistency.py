@@ -1,0 +1,101 @@
+"""Docs-consistency checks: the documentation must cover the real surface.
+
+Cheap text-level assertions keeping README.md and docs/ in lockstep with the
+code: every CLI subcommand and every registered workload must be mentioned
+where a user would look for it, and the CLI module docstring must not go
+stale again (it once advertised "Five subcommands" after the sixth landed).
+CI runs this file as a dedicated step so a docs drift fails loudly.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro.workloads import WORKLOADS
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+README = REPO_ROOT / "README.md"
+DOCS = REPO_ROOT / "docs"
+
+
+def _subcommands() -> list:
+    """The registered CLI subcommands, introspected from the real parser."""
+    parser = cli.build_parser()
+    actions = [a for a in parser._actions if hasattr(a, "choices") and a.choices]
+    (subparsers,) = actions
+    return sorted(subparsers.choices)
+
+
+@pytest.fixture(scope="module")
+def readme_text() -> str:
+    assert README.is_file(), "README.md must exist at the repository root"
+    return README.read_text()
+
+
+class TestReadme:
+    def test_every_cli_subcommand_is_documented(self, readme_text):
+        for command in _subcommands():
+            assert command in readme_text, f"README.md does not mention `{command}`"
+
+    def test_every_workload_is_documented(self, readme_text):
+        docs_text = readme_text + (DOCS / "workloads.md").read_text()
+        for name in WORKLOADS:
+            assert name in docs_text, f"workload {name!r} missing from README/docs"
+
+    def test_gated_benchmarks_are_listed(self, readme_text):
+        for bench in (
+            "bench_batch_throughput.py",
+            "bench_randomized_throughput.py",
+            "bench_wakeup_throughput.py",
+            "bench_sweep_throughput.py",
+        ):
+            assert bench in readme_text, f"README.md speedup table misses {bench}"
+
+    def test_documented_modules_exist(self, readme_text):
+        # Every `src/repro/...` path the module map names must exist on disk.
+        for match in re.findall(r"`(?:src/repro/|)([a-z_]+)/`", readme_text):
+            assert (REPO_ROOT / "src" / "repro" / match).is_dir(), match
+
+
+class TestDocsDirectory:
+    def test_architecture_and_workloads_docs_exist(self):
+        assert (DOCS / "architecture.md").is_file()
+        assert (DOCS / "workloads.md").is_file()
+
+    def test_workloads_doc_has_a_section_per_generator(self):
+        text = (DOCS / "workloads.md").read_text()
+        for name in WORKLOADS:
+            assert f"### `{name}`" in text, f"docs/workloads.md misses a section for {name!r}"
+
+    def test_architecture_doc_names_the_three_layers(self):
+        text = (DOCS / "architecture.md").read_text()
+        for anchor in (
+            "batch_transmit_slots",
+            "run_deterministic_batch",
+            "SweepRunner",
+            "SeedSequence.spawn",
+        ):
+            assert anchor in text, f"docs/architecture.md misses {anchor!r}"
+
+
+class TestCliDocstring:
+    def test_docstring_counts_subcommands_correctly(self):
+        commands = _subcommands()
+        number_words = {
+            4: "Four", 5: "Five", 6: "Six", 7: "Seven", 8: "Eight", 9: "Nine",
+        }
+        expected = number_words.get(len(commands), str(len(commands)))
+        assert f"{expected} subcommands" in cli.__doc__, (
+            f"cli module docstring is stale: expected it to advertise "
+            f"'{expected} subcommands' for {commands}"
+        )
+
+    def test_docstring_documents_every_subcommand(self):
+        for command in _subcommands():
+            assert f"``{command}``" in cli.__doc__, (
+                f"cli module docstring does not document `{command}`"
+            )

@@ -40,6 +40,7 @@ class TestPublicSurface:
             "repro.experiments",
             "repro.engine",
             "repro.workloads",
+            "repro.sweeps",
             "repro.cli",
         ):
             assert importlib.import_module(module) is not None
