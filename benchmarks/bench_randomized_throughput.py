@@ -86,9 +86,10 @@ def test_benchmark_randomized_batch_engine(benchmark):
     benchmark.extra_info["patterns_per_sec"] = BATCH / benchmark.stats["mean"]
 
 
-def test_randomized_batch_speedup_is_at_least_10x():
+def test_randomized_batch_speedup_is_at_least_10x(record_gate):
     """Regression gate: batch >= 10x patterns/sec over the slot loop."""
     patterns = _patterns()
+    measurements = []
     for name, policy in _policies().items():
         # Warm up both paths (page faults and lazy caches), then time best-of-3.
         _run_batch(policy, patterns[:16])
@@ -107,9 +108,26 @@ def test_randomized_batch_speedup_is_at_least_10x():
         speedup = loop_time / batch_time
         print(f"{name}: batch {BATCH / batch_time:,.0f} patterns/s, "
               f"loop {BATCH / loop_time:,.0f} patterns/s, speedup {speedup:.1f}x")
-        assert speedup >= 10.0, (
-            f"{name}: randomized batch engine only {speedup:.1f}x over the slot "
-            f"loop (batch {batch_time:.4f}s, loop {loop_time:.4f}s for {BATCH} patterns)"
+        measurements.append(
+            {
+                "protocol": name,
+                "config": f"B={BATCH} n={N} k={K}",
+                "speedup": round(speedup, 2),
+                "batch_rate": round(BATCH / batch_time, 1),
+                "loop_rate": round(BATCH / loop_time, 1),
+            }
+        )
+    # Record before asserting so a regression still lands in the trajectory.
+    record_gate(
+        "randomized_batch",
+        threshold=10.0,
+        unit="patterns/sec",
+        measurements=measurements,
+    )
+    for entry in measurements:
+        assert entry["speedup"] >= 10.0, (
+            f"{entry['protocol']}: randomized batch engine only "
+            f"{entry['speedup']:.1f}x over the slot loop at {entry['config']}"
         )
 
 

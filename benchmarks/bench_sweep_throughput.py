@@ -89,7 +89,7 @@ def test_sweep_resumes_from_partial_store(tmp_path):
     assert _columns(resumed) == _columns(serial)
 
 
-def test_sweep_parallel_speedup_is_at_least_2x():
+def test_sweep_parallel_speedup_is_at_least_2x(record_gate):
     """Regression gate: >= 2x configs/sec at 4 workers on the 16-config grid."""
     if _usable_cpus() < 4:
         # 4 workers on fewer than 4 cores cannot reach 2x by construction
@@ -112,6 +112,20 @@ def test_sweep_parallel_speedup_is_at_least_2x():
         f"sweep: serial {len(configs) / serial_time:,.1f} configs/s, "
         f"4 workers {len(configs) / parallel_time:,.1f} configs/s, "
         f"speedup {speedup:.2f}x"
+    )
+    # Record before asserting so a regression still lands in the trajectory.
+    record_gate(
+        "sweep_parallel",
+        threshold=2.0,
+        unit="configs/sec",
+        measurements=[
+            {
+                "grid": f"{len(configs)} configs, 4 workers",
+                "speedup": round(speedup, 2),
+                "parallel_rate": round(len(configs) / parallel_time, 2),
+                "serial_rate": round(len(configs) / serial_time, 2),
+            }
+        ],
     )
     assert speedup >= 2.0, (
         f"4-worker sweep only {speedup:.2f}x over serial "

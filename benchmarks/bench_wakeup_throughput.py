@@ -103,7 +103,7 @@ def test_native_and_fallback_agree_bit_for_bit():
         assert int(a.winner[i]) == reference.winner
 
 
-def test_wakeup_batch_speedup_is_at_least_10x():
+def test_wakeup_batch_speedup_is_at_least_10x(record_gate):
     """Regression gate: native batch >= 10x over the pair-by-pair loop.
 
     Plus a secondary gate: the native override must stay >= 3x over running
@@ -126,6 +126,21 @@ def test_wakeup_batch_speedup_is_at_least_10x():
           f"generic fallback {BATCH / generic_time:,.0f} patterns/s, "
           f"loop {BATCH / loop_time:,.0f} patterns/s, "
           f"speedup {loop_speedup:.1f}x over loop / {generic_speedup:.1f}x over generic")
+    record_gate(
+        "wakeup_matrix_batch",
+        threshold=10.0,
+        unit="patterns/sec",
+        measurements=[
+            {
+                "protocol": "wakeup-scenario-c",
+                "config": f"B={BATCH} n={N} k={K}",
+                "speedup": round(loop_speedup, 2),
+                "speedup_over_generic": round(generic_speedup, 2),
+                "batch_rate": round(BATCH / native_time, 1),
+                "loop_rate": round(BATCH / loop_time, 1),
+            }
+        ],
+    )
     assert loop_speedup >= 10.0, (
         f"native Scenario C batch only {loop_speedup:.1f}x over the pair-by-pair loop "
         f"(batch {native_time:.4f}s, loop {loop_time:.4f}s for {BATCH} patterns)"

@@ -78,6 +78,7 @@ from repro.engine import (
     BatchResult,
     Campaign,
     run_deterministic_batch,
+    run_feedback_batch,
     run_randomized_batch,
 )
 from repro.experiments import (
@@ -150,6 +151,7 @@ __all__ = [
     "BatchResult",
     "Campaign",
     "run_deterministic_batch",
+    "run_feedback_batch",
     "run_randomized_batch",
     # sweep orchestration
     "SweepConfig",

@@ -31,7 +31,7 @@ what is documented in :mod:`repro`.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Sequence, Union
+from typing import Iterable, Sequence, Union
 
 import numpy as np
 

@@ -12,7 +12,7 @@ because the question is "does the measured curve have this *shape*", not
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Iterable, Sequence, Tuple
 
 import numpy as np
 

@@ -9,7 +9,7 @@ summary rows that the reporting layer prints.  Plain numpy is used throughout
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Sequence, Tuple
 
 import numpy as np
 

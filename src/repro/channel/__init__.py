@@ -32,6 +32,7 @@ from repro.channel.wakeup import WakeupPattern
 from repro.channel.channel import Channel
 from repro.channel.protocols import (
     DeterministicProtocol,
+    FeedbackVectorizedPolicy,
     RandomizedPolicy,
     StationState,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "WakeupPattern",
     "Channel",
     "DeterministicProtocol",
+    "FeedbackVectorizedPolicy",
     "RandomizedPolicy",
     "StationState",
     "ExecutionTrace",

@@ -11,7 +11,7 @@ vectorized path for deterministic schedules) are tested against it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Iterable, Optional
 
 from repro._util import validate_positive_int, validate_station_ids
 from repro.channel.events import SlotOutcome, SlotRecord

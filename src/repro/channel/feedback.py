@@ -16,6 +16,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from enum import Enum
 
+import numpy as np
+
 from repro.channel.events import SlotOutcome
 
 __all__ = [
@@ -23,6 +25,8 @@ __all__ = [
     "FeedbackModel",
     "NoCollisionDetection",
     "CollisionDetection",
+    "OUTCOME_CODES",
+    "signal_table",
 ]
 
 
@@ -31,11 +35,57 @@ class FeedbackSignal(Enum):
 
     ``QUIET`` is deliberately ambiguous: under :class:`NoCollisionDetection`
     it covers both true silence and collisions.
+
+    Each signal carries a small integer :attr:`code` so vectorized engines
+    can represent per-station signals as int8 arrays (see
+    :func:`signal_table`).
     """
 
     QUIET = "quiet"
     SUCCESS = "success"
     COLLISION = "collision"
+
+    @property
+    def code(self) -> int:
+        """Stable integer code used by vectorized signal arrays."""
+        return _SIGNAL_CODES[self]
+
+
+#: Stable integer codes for :class:`FeedbackSignal` members (the values the
+#: batched feedback engine hands to ``batch_observe`` as an int8 array).
+_SIGNAL_CODES = {
+    FeedbackSignal.QUIET: 0,
+    FeedbackSignal.SUCCESS: 1,
+    FeedbackSignal.COLLISION: 2,
+}
+
+#: Stable integer codes for :class:`~repro.channel.events.SlotOutcome`
+#: members, indexing the first axis of :func:`signal_table`.
+OUTCOME_CODES = {
+    SlotOutcome.SILENCE: 0,
+    SlotOutcome.SUCCESS: 1,
+    SlotOutcome.COLLISION: 2,
+}
+
+
+def signal_table(model: "FeedbackModel") -> np.ndarray:
+    """Tabulate a feedback model as an int8 array ``lut[outcome, transmitted]``.
+
+    The batched feedback engine (:func:`repro.engine.run_feedback_batch`)
+    resolves one slot for B patterns at a time; translating the per-row slot
+    outcome into per-station signals through :meth:`FeedbackModel.observe`
+    station by station would reintroduce the scalar loop.  Because every
+    model in the library is a pure function of ``(outcome, transmitted)``,
+    six scalar calls tabulate it exactly: entry ``[OUTCOME_CODES[outcome],
+    int(transmitted)]`` holds ``model.observe(outcome,
+    transmitted=transmitted).code``.
+    """
+    table = np.empty((3, 2), dtype=np.int8)
+    for outcome, row in OUTCOME_CODES.items():
+        for transmitted in (False, True):
+            signal = model.observe(outcome, transmitted=transmitted)
+            table[row, int(transmitted)] = signal.code
+    return table
 
 
 class FeedbackModel(ABC):

@@ -38,6 +38,7 @@ from repro.channel.feedback import FeedbackSignal
 __all__ = [
     "DeterministicProtocol",
     "RandomizedPolicy",
+    "FeedbackVectorizedPolicy",
     "StationState",
     "zero_before_wake",
 ]
@@ -263,9 +264,24 @@ class RandomizedPolicy(ABC):
         return matrix
 
     def observe(
-        self, state: StationState, slot: int, signal: FeedbackSignal, transmitted: bool
+        self,
+        state: StationState,
+        slot: int,
+        signal: FeedbackSignal,
+        transmitted: bool,
+        rng: Optional[np.random.Generator] = None,
     ) -> None:
-        """Update per-station state after a slot (default: book-keeping only)."""
+        """Update per-station state after a slot (default: book-keeping only).
+
+        ``rng`` is the *pattern's own* generator — the same per-pattern child
+        stream the simulator draws the transmit decisions from.  Policies
+        whose updates are stochastic (backoff windows, splitting coins) must
+        draw from it when it is provided, so that a pattern's outcome is a
+        function of its own stream alone; drawing from a policy-owned
+        generator instead couples every pattern resolved through one policy
+        instance, making batched outcomes order-dependent.  The simulator
+        always passes it; direct callers may omit it.
+        """
         if transmitted:
             state.transmission_count += 1
             if signal is FeedbackSignal.COLLISION:
@@ -274,3 +290,113 @@ class RandomizedPolicy(ABC):
     def describe(self) -> str:
         """One-line description used in experiment tables."""
         return f"{self.name}(n={self.n})"
+
+
+class FeedbackVectorizedPolicy(ABC):
+    """Mixin interface: a feedback-driven policy the batch engine can vectorize.
+
+    Feedback-driven policies cannot be resolved from a precomputed
+    probability matrix — each slot's decisions depend on the previous slots'
+    outcomes.  They *can* still be batched across patterns, because one
+    pattern's state never influences another's: the engine
+    (:func:`repro.engine.run_feedback_batch`) advances B patterns one slot at
+    a time, and this mixin is the per-slot vectorized query surface it uses
+    instead of per-station :class:`StationState` dicts.
+
+    State lives in arrays aligned with the engine's flattened ``(pattern,
+    station, wake)`` pair arrays — conceptually one row of per-station
+    counters per pattern — allocated by :meth:`batch_create_state` and
+    treated as opaque by the engine.  The contract mirrors the scalar
+    surface exactly:
+
+    * :meth:`batch_transmit_mask` answers "who transmits at this slot" for
+      every pair at once.  It must be *deterministic given the state* — the
+      vectorized surface covers policies whose per-state transmit
+      probability is 0 or 1 (binary exponential backoff, tree splitting:
+      the classical feedback protocols), with the engine burning the slot
+      loop's one-uniform-per-transmitter draws to keep streams aligned.
+    * :meth:`batch_observe` applies one slot of feedback to every pair at
+      once, drawing any randomness through the engine-provided ``draw``
+      callable, which consumes each pattern's child stream in exactly the
+      slot loop's order.
+
+    Subclasses that override the scalar behaviour (``transmit_probability``,
+    ``observe`` or ``create_state``) without overriding the vectorized trio
+    would answer batch queries with the *base's* semantics; an
+    ``__init_subclass__`` guard (mirroring the deterministic and randomized
+    ones) clears :attr:`feedback_vectorized` on such subclasses, so the
+    engine falls back to the slot-loop reference path, which is always
+    consistent.
+    """
+
+    #: Whether the engine may use the vectorized surface for this class.
+    #: Cleared automatically on subclasses that override scalar behaviour
+    #: but inherit the vectorized methods.
+    feedback_vectorized: bool = True
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        overrides_scalar = any(
+            name in cls.__dict__
+            for name in ("transmit_probability", "observe", "create_state")
+        )
+        inherits_vectorized = not any(
+            name in cls.__dict__
+            for name in ("batch_create_state", "batch_transmit_mask", "batch_observe")
+        )
+        if overrides_scalar and inherits_vectorized and "feedback_vectorized" not in cls.__dict__:
+            cls.feedback_vectorized = False
+
+    @abstractmethod
+    def batch_create_state(
+        self, pair_row: np.ndarray, pair_station: np.ndarray, pair_wake: np.ndarray
+    ) -> Any:
+        """Allocate vectorized state for the given pairs (at their wake times).
+
+        The arrays are the engine's flattened batch: ``pair_row[i]`` is the
+        pattern index of pair ``i``, ``pair_station[i]`` its station ID and
+        ``pair_wake[i]`` its wake-up slot; pairs are row-major and, within a
+        row, in the pattern's own station order.  Every per-pair entry must
+        equal what :meth:`RandomizedPolicy.create_state` produces for a
+        freshly woken station.  The returned object is passed back verbatim
+        to the other two queries.
+        """
+
+    @abstractmethod
+    def batch_transmit_mask(self, state: Any, slot: int, awake: np.ndarray) -> np.ndarray:
+        """Boolean mask over pairs: who transmits at ``slot``.
+
+        ``awake`` marks the pairs whose station is awake at ``slot`` in a
+        still-unresolved pattern; entries outside it are ignored by the
+        engine.  The mask must be exactly the pairs whose scalar
+        ``transmit_probability`` would return 1.0 (the engine burns one
+        uniform per masked pair from the pair's pattern stream, matching the
+        slot loop's draw discipline).
+        """
+
+    @abstractmethod
+    def batch_observe(
+        self,
+        state: Any,
+        slot: int,
+        signals: np.ndarray,
+        transmitted: np.ndarray,
+        awake: np.ndarray,
+        draw,
+    ) -> None:
+        """Apply one slot of feedback to every awake pair at once.
+
+        ``signals`` is an int8 array of per-pair
+        :attr:`~repro.channel.feedback.FeedbackSignal.code` values (already
+        mapped through the channel's feedback model); ``transmitted`` and
+        ``awake`` are boolean masks over pairs.  Only awake pairs may be
+        updated — the scalar loop never calls ``observe`` for sleeping
+        stations.
+
+        ``draw(pair_indices)`` returns one uniform in ``[0, 1)`` per
+        requested pair, drawn from each pair's own pattern stream in
+        ascending pair order — exactly where the slot loop's scalar
+        ``observe(..., rng=...)`` calls would have drawn them.  Implementations
+        must request draws for exactly the pairs whose scalar counterpart
+        would draw, in the same order (pass indices ascending).
+        """

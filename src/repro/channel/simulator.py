@@ -24,7 +24,8 @@ protocol kinds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import inspect
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -268,6 +269,19 @@ def run_randomized(
     horizon = start + int(max_slots)
     states: Dict[int, object] = {}
 
+    # Policies written against the pre-rng observe signature (4 positional
+    # arguments) remain simulatable: detect once whether this policy's
+    # observe accepts the pattern generator and only pass it if so.  Such
+    # policies cannot draw from the pattern stream, so their outcomes stay
+    # policy-stream dependent — the library's own policies all accept rng.
+    try:
+        inspect.signature(policy.observe).bind(
+            None, 0, FeedbackSignal.QUIET, False, rng=None
+        )
+        observe_accepts_rng = True
+    except TypeError:
+        observe_accepts_rng = False
+
     for slot in range(start, horizon):
         # Wake stations whose time has come.
         for station, wake in pattern.wake_times.items():
@@ -289,7 +303,13 @@ def run_randomized(
         for station in awake:
             transmitted = station in transmitters
             signal = channel.signal_for(outcome, transmitted=transmitted)
-            policy.observe(states[station], slot, signal, transmitted)  # type: ignore[arg-type]
+            # The pattern's generator is handed to observe so stochastic
+            # feedback updates (backoff windows, splitting coins) draw from
+            # the same per-pattern stream as the transmit decisions.
+            if observe_accepts_rng:
+                policy.observe(states[station], slot, signal, transmitted, rng=gen)  # type: ignore[arg-type]
+            else:
+                policy.observe(states[station], slot, signal, transmitted)  # type: ignore[arg-type]
         if outcome is SlotOutcome.SUCCESS:
             return WakeupResult(
                 solved=True,

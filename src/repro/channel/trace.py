@@ -10,7 +10,7 @@ tests (e.g. "no station transmits before its wake-up slot").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.channel.events import SlotOutcome, SlotRecord
 

@@ -15,8 +15,8 @@ patterns (adversarial, random, bursty, ...) live in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
 import numpy as np
 

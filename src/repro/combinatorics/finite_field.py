@@ -14,9 +14,8 @@ Both are implemented directly so the library has no dependency beyond numpy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Tuple
 
-import numpy as np
 
 from repro.combinatorics.primes import is_prime
 

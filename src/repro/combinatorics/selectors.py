@@ -23,8 +23,8 @@ constructions of :mod:`repro.core.selective` are not wanted:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, List, Tuple
 
 import numpy as np
 

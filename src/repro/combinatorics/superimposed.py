@@ -25,7 +25,7 @@ of ``k`` others — the code is ``k``-superimposed.  Length is ``q²``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 

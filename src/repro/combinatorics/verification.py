@@ -18,7 +18,7 @@ loops), by the test suite, and by experiment E8:
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 

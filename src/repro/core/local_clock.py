@@ -41,7 +41,6 @@ from repro.channel.protocols import DeterministicProtocol
 from repro.combinatorics.selectors import SetFamily
 from repro.core.round_robin import RoundRobin
 from repro.core.schedules import InterleavedProtocol
-from repro.core.scenario_c import WakeupProtocol
 from repro.core.selective import SelectiveFamily, concatenated_families
 from repro.core.waking_matrix import (
     HashedTransmissionMatrix,

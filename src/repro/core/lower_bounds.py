@@ -12,7 +12,7 @@ which is implemented via :func:`repro._util.log2_safe`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from repro._util import log2_safe, loglog2_safe, validate_k_n
 

@@ -25,7 +25,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro._util import RngLike, as_generator, validate_positive_int
+from repro._util import validate_positive_int
 from repro.channel.protocols import DeterministicProtocol
 from repro.core.waking_matrix import (
     HashedTransmissionMatrix,

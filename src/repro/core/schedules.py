@@ -23,11 +23,11 @@ transmits before it is awake".
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
-from repro._util import ceil_div, ragged_arange, validate_positive_int
+from repro._util import ceil_div, ragged_arange
 from repro.channel.protocols import DeterministicProtocol
 from repro.combinatorics.selectors import SetFamily
 

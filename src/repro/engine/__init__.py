@@ -21,8 +21,15 @@ by both protocol kinds:
   Bernoulli samples over each policy's
   :meth:`~repro.channel.protocols.RandomizedPolicy.transmit_probability_matrix`,
   one ``SeedSequence``-spawned child generator per pattern (bit-for-bit
-  identical to the slot-loop engine given the same generators;
-  feedback-driven policies fall back to the slot loop per pattern);
+  identical to the slot-loop engine given the same generators);
+* :func:`~repro.engine.feedback_batch.run_feedback_batch` — the
+  feedback-driven third engine: policies whose decisions react to channel
+  signals (binary exponential backoff, tree splitting) advance B patterns
+  *per slot* with vectorized state arrays through the
+  :class:`~repro.channel.protocols.FeedbackVectorizedPolicy` surface, again
+  bit-for-bit identical to the slot loop under matched per-pattern streams
+  (``run_randomized_batch`` dispatches to it automatically; feedback-driven
+  policies without the surface fall back to the slot loop per pattern);
 * :class:`~repro.engine.batch.BatchResult` — column-oriented results with
   summary statistics, convertible row-by-row to
   :class:`~repro.channel.simulator.WakeupResult`;
@@ -38,10 +45,12 @@ across worker *processes*, with an on-disk resumable store — is
 
 from repro.engine.batch import BatchResult, run_deterministic_batch, run_randomized_batch
 from repro.engine.campaign import Campaign
+from repro.engine.feedback_batch import run_feedback_batch
 
 __all__ = [
     "BatchResult",
     "run_deterministic_batch",
     "run_randomized_batch",
+    "run_feedback_batch",
     "Campaign",
 ]

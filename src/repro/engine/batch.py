@@ -53,7 +53,11 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro._util import MAX_CELLS_PER_CHUNK, RngLike, spawn_generators
-from repro.channel.protocols import DeterministicProtocol, RandomizedPolicy
+from repro.channel.protocols import (
+    DeterministicProtocol,
+    FeedbackVectorizedPolicy,
+    RandomizedPolicy,
+)
 from repro.channel.simulator import DEFAULT_MAX_SLOTS, WakeupResult, run_randomized
 from repro.channel.wakeup import WakeupPattern
 
@@ -582,8 +586,17 @@ def run_randomized_batch(
 
     if policy.feedback_driven:
         # Probabilities react to channel signals, so slots cannot be sampled
-        # ahead of the outcomes they depend on: resolve each pattern with the
-        # slot-loop reference engine and its own child generator.
+        # ahead of the outcomes they depend on.  Policies implementing the
+        # vectorized feedback surface are advanced slot-synchronously across
+        # all patterns at once; anything else falls back to the slot-loop
+        # reference engine, one pattern and child generator at a time.
+        # Either path yields bit-for-bit the same outcomes.
+        if isinstance(policy, FeedbackVectorizedPolicy) and policy.feedback_vectorized:
+            from repro.engine.feedback_batch import run_feedback_batch
+
+            return run_feedback_batch(
+                policy, patterns, rngs=generators, max_slots=max_slots
+            )
         return BatchResult.from_results(
             [
                 run_randomized(policy, pattern, rng=gen, max_slots=max_slots)

@@ -16,12 +16,13 @@ Two invariants make campaigns reproducible and composable:
   oblivious by construction; for randomized policies every pattern gets its
   own child generator derived with ``numpy.random.SeedSequence.spawn`` (see
   :mod:`repro._util`) *before* sharding, so the outcome of pattern ``i`` does
-  not depend on the shard size or worker count.  One caveat: a
-  feedback-driven policy that draws from its *own* internal generator inside
-  ``observe`` (binary exponential backoff, tree splitting) shares that one
-  stream across patterns, so its outcomes are reproducible only with serial
-  execution (``workers <= 1``) — concurrent shards consume the policy stream
-  in scheduling order.
+  not depend on the shard size or worker count.  This covers feedback-driven
+  policies too: their stochastic feedback updates (backoff windows, splitting
+  coins) draw from the same per-pattern streams — whether resolved through
+  the vectorized feedback engine
+  (:func:`~repro.engine.feedback_batch.run_feedback_batch`) or the slot-loop
+  fallback — so binary exponential backoff and tree splitting campaigns are
+  reproducible at any worker count.
 * **Construction cost is shared.**  The selective-family constructions behind
   Scenario A/B protocols are served from a
   :class:`~repro.experiments.cache.FamilyCache`

@@ -15,7 +15,7 @@ of seeds per configuration is enough to see the shape.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 __all__ = ["ExperimentScale", "QUICK", "STANDARD", "FULL"]

@@ -10,7 +10,7 @@ the pass/fail verdicts.  The measurement helpers wrap the simulator with the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

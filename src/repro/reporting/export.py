@@ -10,7 +10,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Mapping, Sequence, Union
+from typing import Any, Dict, Iterable, List, Mapping, Union
 
 __all__ = ["results_to_csv", "results_to_json", "write_csv", "write_json", "write_rows"]
 

@@ -15,7 +15,7 @@ are rendered as ASCII art:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -52,7 +52,9 @@ def ascii_line_plot(
             raise ValueError("logy requires strictly positive values")
         transform = np.log10
     else:
-        transform = lambda v: np.asarray(v, dtype=float)
+
+        def transform(v):
+            return np.asarray(v, dtype=float)
 
     ty = transform(all_ys)
     y_min, y_max = float(ty.min()), float(ty.max())

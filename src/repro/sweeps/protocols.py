@@ -18,7 +18,7 @@ how many configs it resolves.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
 __all__ = ["PROTOCOL_BUILDERS", "protocol_names", "register_protocol", "build_protocol"]
 
@@ -140,6 +140,21 @@ def _build_aloha(n, k, seed, cache):
     return tuned_aloha(n, k)
 
 
+def _build_beb(n, k, seed, cache):
+    from repro.baselines import BinaryExponentialBackoff
+
+    # Construction is deterministic; the backoff draws come from per-pattern
+    # child streams at simulation time (run_feedback_batch / the slot loop),
+    # which is what keeps sweep results worker-count invariant.
+    return BinaryExponentialBackoff(n)
+
+
+def _build_tree_splitting(n, k, seed, cache):
+    from repro.baselines import TreeSplitting
+
+    return TreeSplitting(n)
+
+
 register_protocol("round-robin", _build_round_robin)
 register_protocol("tdma", _build_tdma)
 register_protocol("scenario-a", _build_scenario_a)
@@ -151,3 +166,5 @@ register_protocol("local-clock-c", _build_local_clock_c)
 register_protocol("rpd", _build_rpd)
 register_protocol("rpd-known-k", _build_rpd_known_k)
 register_protocol("aloha", _build_aloha)
+register_protocol("beb", _build_beb)
+register_protocol("tree-splitting", _build_tree_splitting)

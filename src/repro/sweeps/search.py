@@ -14,7 +14,7 @@ for any worker count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 __all__ = ["WorstCaseRecord", "worst_case_grid"]
 

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.analysis.statistics import (
-    SummaryStatistics,
     bootstrap_confidence_interval,
     geometric_mean,
     summarize,

@@ -103,11 +103,55 @@ class TestBinaryExponentialBackoff:
         with pytest.raises(ValueError):
             BinaryExponentialBackoff(8, max_exponent=-1)
 
+    def test_overflowing_exponent_rejected(self):
+        # 2^63 does not fit the engine's int64 state arrays: the vectorized
+        # and scalar paths could no longer agree bit for bit.
+        with pytest.raises(ValueError):
+            BinaryExponentialBackoff(8, max_exponent=63)
+        assert BinaryExponentialBackoff(8, max_exponent=62).max_exponent == 62
+
     def test_solves_wakeup_with_collision_detection(self):
         policy = BinaryExponentialBackoff(16, rng=3)
         pattern = simultaneous_pattern(16, 4, rng=0)
         result = run_randomized(policy, pattern, rng=5, max_slots=10_000)
         assert result.solved
+
+    def test_backoff_draws_from_the_pattern_stream(self):
+        # When observe receives a pattern generator, the backoff window is
+        # drawn from it — two policies with different internal seeds agree.
+        a, b = BinaryExponentialBackoff(8, rng=0), BinaryExponentialBackoff(8, rng=99)
+        state_a, state_b = a.create_state(1, 0), b.create_state(1, 0)
+        a.observe(state_a, 0, FeedbackSignal.COLLISION, True, rng=np.random.default_rng(7))
+        b.observe(state_b, 0, FeedbackSignal.COLLISION, True, rng=np.random.default_rng(7))
+        assert state_a.extra["next_attempt"] == state_b.extra["next_attempt"]
+
+    def test_outcome_depends_only_on_the_pattern_stream(self):
+        # Simulated outcomes are a function of the per-pattern rng alone:
+        # the policy-owned fallback stream never enters a simulation.
+        pattern = simultaneous_pattern(16, 4, rng=0)
+        results = [
+            run_randomized(
+                BinaryExponentialBackoff(16, rng=seed),
+                pattern,
+                rng=np.random.default_rng(5),
+                max_slots=10_000,
+            )
+            for seed in (0, 1)
+        ]
+        assert results[0].success_slot == results[1].success_slot
+        assert results[0].winner == results[1].winner
+
+    def test_backoff_window_is_uniform_over_the_window(self):
+        # floor(u * 2^c) with u ~ U[0, 1) covers {0, ..., 2^c - 1}.
+        policy = BinaryExponentialBackoff(8, max_exponent=2)
+        gen = np.random.default_rng(0)
+        offsets = set()
+        for _ in range(200):
+            state = policy.create_state(1, 0)
+            state.extra["collisions"] = 1  # next collision caps the exponent
+            policy.observe(state, 10, FeedbackSignal.COLLISION, True, rng=gen)
+            offsets.add(state.extra["next_attempt"] - 11)
+        assert offsets == {0, 1, 2, 3}
 
 
 class TestTreeSplitting:
@@ -138,6 +182,24 @@ class TestTreeSplitting:
         pattern = staggered_pattern(32, 6, gap=2, rng=1)
         result = run_randomized(policy, pattern, rng=9, max_slots=10_000)
         assert result.solved
+
+    def test_splitting_coin_comes_from_the_pattern_stream(self):
+        # With a pattern generator supplied, the coin flip is its next
+        # uniform: policies with different internal seeds split identically.
+        for probe_seed in range(5):
+            outcomes = []
+            for policy_seed in (0, 99):
+                policy = TreeSplitting(8, rng=policy_seed)
+                state = policy.create_state(1, 0)
+                policy.observe(
+                    state,
+                    0,
+                    FeedbackSignal.COLLISION,
+                    True,
+                    rng=np.random.default_rng(probe_seed),
+                )
+                outcomes.append(state.extra["counter"])
+            assert outcomes[0] == outcomes[1]
 
 
 class TestKomlosGreenberg:

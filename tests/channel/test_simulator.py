@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.channel.feedback import CollisionDetection
-from repro.channel.protocols import DeterministicProtocol, RandomizedPolicy, StationState
+from repro.channel.protocols import DeterministicProtocol, RandomizedPolicy
 from repro.channel.simulator import Simulator, WakeupResult, run_deterministic, run_randomized
 from repro.channel.wakeup import WakeupPattern
 from repro.core.round_robin import RoundRobin

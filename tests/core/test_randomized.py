@@ -5,8 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro._util import ceil_log2
-from repro.channel.adversary import simultaneous_pattern, uniform_random_pattern
+from repro.channel.adversary import simultaneous_pattern
 from repro.channel.simulator import run_randomized
 from repro.channel.wakeup import WakeupPattern
 from repro.core.randomized import (

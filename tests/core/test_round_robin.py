@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.channel.simulator import run_deterministic
 from repro.channel.wakeup import WakeupPattern

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.channel.adversary import simultaneous_pattern, staggered_pattern, uniform_random_pattern
+from repro.channel.adversary import simultaneous_pattern, uniform_random_pattern
 from repro.channel.simulator import run_deterministic
 from repro.channel.wakeup import WakeupPattern
 from repro.core.lower_bounds import scenario_ab_bound

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.channel.adversary import (
@@ -11,7 +10,6 @@ from repro.channel.adversary import (
     uniform_random_pattern,
 )
 from repro.channel.simulator import run_deterministic
-from repro.channel.wakeup import WakeupPattern
 from repro.core.lower_bounds import scenario_ab_bound
 from repro.core.scenario_b import WaitAndGo, WakeupWithK
 from repro.core.selective import concatenated_families

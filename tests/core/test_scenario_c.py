@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.channel.adversary import (
@@ -50,7 +49,6 @@ class TestGeometry:
 class TestProtocolBehaviour:
     def test_never_transmits_before_wake_or_during_waiting(self):
         protocol = WakeupProtocol(32, seed=1)
-        w = protocol.params.window
         wake = 1
         for t in range(wake):
             assert not protocol.transmits(5, wake, t)

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.combinatorics.selectors import SetFamily, singleton_family
+from repro.combinatorics.selectors import SetFamily
 from repro.core.round_robin import RoundRobin
 from repro.core.schedules import (
     CyclicFamilySchedule,

@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro._util import ceil_log2
 from repro.combinatorics.verification import exhaustive_selectivity_check
 from repro.core.selective import (
-    SelectiveFamily,
     build_selective_family,
     concatenated_families,
     explicit_selective_family,

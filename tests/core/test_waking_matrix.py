@@ -9,7 +9,6 @@ from repro.channel.wakeup import WakeupPattern
 from repro.core.waking_matrix import (
     ExplicitTransmissionMatrix,
     HashedTransmissionMatrix,
-    MatrixParameters,
     first_isolation,
     is_well_balanced_slot,
     isolated_station_at,

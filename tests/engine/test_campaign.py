@@ -66,6 +66,25 @@ class TestRandomizedCampaign:
             np.testing.assert_array_equal(result.winner, baseline.winner)
             np.testing.assert_array_equal(result.latency, baseline.latency)
 
+    def test_feedback_policy_outcomes_independent_of_sharding(self):
+        # Feedback baselines draw backoff windows / splitting coins from the
+        # per-pattern streams spawned before sharding, so campaigns over them
+        # are shard- and worker-invariant too (the old caveat is gone).
+        from repro.baselines import BinaryExponentialBackoff, TreeSplitting
+
+        patterns = WorkloadSuite().generate("simultaneous", n=64, k=8, batch=24, seed=2)
+        for policy in (BinaryExponentialBackoff(64), TreeSplitting(64)):
+            baseline = Campaign(policy, seed=3, shard_size=24, workers=0).run(patterns)
+            for shard_size, workers in ((5, 0), (9, 3)):
+                result = Campaign(
+                    policy, seed=3, shard_size=shard_size, workers=workers
+                ).run(patterns)
+                np.testing.assert_array_equal(result.success_slot, baseline.success_slot)
+                np.testing.assert_array_equal(result.winner, baseline.winner)
+                np.testing.assert_array_equal(
+                    result.slots_examined, baseline.slots_examined
+                )
+
     def test_matches_per_pattern_slot_loop(self, patterns):
         # The campaign's randomized path is the batched engine; its outcomes
         # must be bit-for-bit the slot-loop engine's under the same child

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro._util import ceil_log2
 from repro.experiments.cache import FamilyCache

@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-from pathlib import Path
 
-import pytest
 
 from repro.experiments.config import ExperimentScale
 from repro.experiments.report import PAPER_CLAIMS, generate_experiments_report, main

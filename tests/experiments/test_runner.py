@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.certificates import BoundCertificate
-from repro.channel.adversary import simultaneous_pattern
 from repro.channel.wakeup import WakeupPattern
 from repro.core.randomized import FixedProbabilityPolicy
 from repro.core.round_robin import RoundRobin

@@ -4,18 +4,16 @@ from __future__ import annotations
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.analysis.certificates import check_upper_bound
-from repro.analysis.fitting import STANDARD_MODELS, best_model
+from repro.analysis.fitting import best_model
 from repro.analysis.shape import crossover_point
 from repro.channel.adversary import simultaneous_pattern
 from repro.channel.simulator import run_deterministic
 from repro.core.lower_bounds import scenario_ab_bound
 from repro.core.round_robin import RoundRobin
 from repro.core.scenario_b import WaitAndGo
-from repro.core.selective import concatenated_families
 from repro.experiments.cache import FamilyCache
 from repro.reporting.export import results_to_csv, results_to_json
 from repro.reporting.tables import TextTable

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.channel.adversary import (

@@ -240,15 +240,31 @@ class TestSubclassConsistencyGuard:
 
     def test_observe_override_marks_policy_feedback_driven(self):
         class Watching(SlottedAloha):
-            def observe(self, state, slot, signal, transmitted):
-                super().observe(state, slot, signal, transmitted)
+            def observe(self, state, slot, signal, transmitted, rng=None):
+                super().observe(state, slot, signal, transmitted, rng=rng)
 
         assert Watching.feedback_driven is True
 
         class WatchingButOblivious(SlottedAloha):
             feedback_driven = False
 
-            def observe(self, state, slot, signal, transmitted):
-                super().observe(state, slot, signal, transmitted)
+            def observe(self, state, slot, signal, transmitted, rng=None):
+                super().observe(state, slot, signal, transmitted, rng=rng)
 
         assert WatchingButOblivious.feedback_driven is False
+
+    def test_legacy_observe_signature_still_simulates(self):
+        # Policies written against the pre-rng observe signature (4
+        # positional arguments, no rng) must stay simulatable: the slot loop
+        # detects the missing parameter and withholds the generator.
+        class LegacyWatcher(SlottedAloha):
+            def observe(self, state, slot, signal, transmitted):
+                super().observe(state, slot, signal, transmitted)
+                state.extra["signals"] = state.extra.get("signals", 0) + 1
+
+        policy = LegacyWatcher(N, 0.5)
+        assert policy.feedback_driven is True
+        result = run_randomized(
+            policy, WakeupPattern(N, {1: 0, 2: 1}), rng=3, max_slots=500
+        )
+        assert result.solved

@@ -8,7 +8,6 @@ evaluation of the protocol (the definition of the channel model).
 
 from __future__ import annotations
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.channel.simulator import run_deterministic

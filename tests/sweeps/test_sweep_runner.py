@@ -64,6 +64,30 @@ class TestWorkerInvariance:
         latencies = {tuple(r.columns["latency"]) for r in serial.records}
         assert len(latencies) > 1
 
+    @pytest.mark.parametrize("protocol", ["beb", "tree-splitting"])
+    def test_feedback_policy_is_worker_invariant(self, protocol):
+        # Feedback-driven baselines draw their backoff windows / splitting
+        # coins from the same per-pattern child streams as the transmit
+        # decisions (resolved through the vectorized feedback engine), so
+        # their sweep results are worker-count invariant too.
+        configs = [
+            SweepConfig(
+                protocol=protocol,
+                n=32,
+                k=4,
+                workload="simultaneous",
+                batch=6,
+                seed=s,
+                max_slots=20_000,
+            )
+            for s in range(3)
+        ]
+        serial = SweepRunner(workers=0).run(configs)
+        parallel = SweepRunner(workers=3).run(configs)
+        assert _columns(serial) == _columns(parallel)
+        latencies = {tuple(r.columns["latency"]) for r in serial.records}
+        assert len(latencies) > 1
+
     def test_explicit_config_list_matches_spec_expansion(self, serial_result):
         assert _columns(SweepRunner(workers=0).run(SPEC.configs())) == _columns(serial_result)
 

@@ -50,6 +50,7 @@ class TestReadme:
         for bench in (
             "bench_batch_throughput.py",
             "bench_randomized_throughput.py",
+            "bench_feedback_throughput.py",
             "bench_wakeup_throughput.py",
             "bench_sweep_throughput.py",
         ):
@@ -81,6 +82,18 @@ class TestDocsDirectory:
         ):
             assert anchor in text, f"docs/architecture.md misses {anchor!r}"
 
+    def test_every_engine_entry_point_is_documented(self):
+        # The engine is the execution core: every public entry point of
+        # repro.engine must be covered by the architecture doc, so a new
+        # engine cannot land undocumented.
+        import repro.engine
+
+        text = (DOCS / "architecture.md").read_text()
+        for name in repro.engine.__all__:
+            assert name in text, (
+                f"docs/architecture.md does not document repro.engine.{name}"
+            )
+
 
 class TestCliDocstring:
     def test_docstring_counts_subcommands_correctly(self):
@@ -90,7 +103,7 @@ class TestCliDocstring:
         }
         expected = number_words.get(len(commands), str(len(commands)))
         assert f"{expected} subcommands" in cli.__doc__, (
-            f"cli module docstring is stale: expected it to advertise "
+            "cli module docstring is stale: expected it to advertise "
             f"'{expected} subcommands' for {commands}"
         )
 
