@@ -1,6 +1,6 @@
 """Command-line interface for the repro library.
 
-Six subcommands cover the workflows a user needs without writing Python:
+Eight subcommands cover the workflows a user needs without writing Python:
 
 ``simulate``
     Build one protocol, one wake-up pattern, run the simulation and print the
@@ -32,7 +32,20 @@ Six subcommands cover the workflows a user needs without writing Python:
     processes, ``resume`` an interrupted run from its on-disk store, print
     the ``status`` of a store against a spec, or drive the randomized
     ``worst-case`` search over the grid's (n, k) cells.  Results are
-    bit-for-bit identical for any worker count.
+    bit-for-bit identical for any worker count.  ``--trace PATH`` records a
+    structured JSONL trace of the run through :mod:`repro.obs`.
+
+``bench``
+    Benchmark-trajectory analytics (:mod:`repro.obs.bench`): ``compare`` two
+    or more ``BENCH_results.json`` artifacts — file paths or git revisions
+    (``REV`` or ``REV:PATH``) — and fail when a curated throughput metric
+    drifted beyond ``--tolerance``, even if it still clears the hard CI
+    gates.
+
+``obs``
+    Trace analytics (:mod:`repro.obs.report`): ``report`` summarizes a JSONL
+    trace recorded with ``--trace`` or ``REPRO_OBS`` — top spans by
+    cumulative time, counter/gauge totals, sweep configs/sec.
 
 Examples
 --------
@@ -48,15 +61,20 @@ Examples
         --n 256 --k 16 --batch 256 --workers 4
     python -m repro sweep run --protocols scenario-b scenario-c --n-values 256 512 \\
         --k-values 8 16 --store sweep-store --workers 4
+    python -m repro sweep run --n-values 128 --workers 4 --trace sweep-trace.jsonl
     python -m repro sweep status --spec grid.json --store sweep-store
+    python -m repro bench compare BENCH_baseline.json BENCH_results.json --tolerance 0.25
+    python -m repro obs report sweep-trace.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence
 
+from repro import obs
 from repro.channel.adversary import (
     batched_pattern,
     simultaneous_pattern,
@@ -99,12 +117,29 @@ PATTERNS = {
 }
 
 
+#: ``repro --help`` epilog: one line per subcommand, kept in sync with the
+#: subparsers below (tests/test_docs_consistency.py asserts the sync).
+_EPILOG = """\
+subcommands:
+  simulate       run one protocol against one wake-up pattern
+  bounds         print the paper's bound formulas over a k sweep
+  experiment     run one experiment from the E1-E11 registry
+  verify-matrix  find a verified waking-matrix seed
+  workloads      list/sample the workload suite or run a batch
+  sweep          run, resume or inspect a config-grid sweep (supports --trace)
+  bench          compare BENCH_results.json artifacts across runs/revisions
+  obs            summarize a JSONL trace (top spans, counters, configs/sec)
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Contention resolution on a non-synchronized multiple access channel "
         "(De Marco & Kowalski, IPDPS 2013) — reproduction toolkit.",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -197,6 +232,44 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--export", default=None, metavar="PATH",
         help="write per-config summary rows to PATH (.csv or .json)",
+    )
+    sweep.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a JSONL observability trace of the run to PATH "
+        "(plus PATH.manifest.json); see `repro obs report`",
+    )
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="compare BENCH_results.json artifacts across runs or revisions",
+        description="Diff two or more benchmark artifacts and flag throughput "
+        "metrics that drifted beyond the tolerance, even when they still "
+        "clear the hard CI gates. Sources are file paths or git revisions "
+        "(`REV` or `REV:PATH`, read via `git show`). Examples: `repro bench "
+        "compare BENCH_baseline.json BENCH_results.json --tolerance 0.25`; "
+        "`repro bench compare HEAD~5 BENCH_results.json`.",
+    )
+    bench.add_argument("action", choices=("compare",))
+    bench.add_argument(
+        "sources", nargs="+", metavar="ARTIFACT",
+        help="two or more artifacts: the first is the baseline",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="relative drift that counts as a regression (default 0.25)",
+    )
+
+    obs_cmd = subparsers.add_parser(
+        "obs",
+        help="summarize a JSONL observability trace",
+        description="Aggregate a trace recorded with `sweep run --trace PATH` "
+        "or REPRO_OBS=PATH: top spans by cumulative time, counter and gauge "
+        "totals, sweep configs/sec. Example: `repro obs report trace.jsonl`.",
+    )
+    obs_cmd.add_argument("action", choices=("report",))
+    obs_cmd.add_argument("trace", metavar="TRACE", help="JSONL trace file")
+    obs_cmd.add_argument(
+        "--top", type=int, default=10, help="span rows to print (default 10)"
     )
     return parser
 
@@ -314,6 +387,36 @@ def _cmd_workloads_inner(args: argparse.Namespace) -> int:
     return 0
 
 
+@contextmanager
+def _tracing(trace: Optional[str], argv: Optional[List[str]] = None) -> Iterator[None]:
+    """Run one command under an observability session when ``--trace`` is set.
+
+    A session already enabled (``REPRO_OBS``) keeps collecting and keeps its
+    own lifetime — a command-level ``--trace`` on top of it is refused with a
+    warning rather than silently splitting the run across two sinks.
+    """
+    if trace is None:
+        yield
+        return
+    if obs.enabled():
+        print(
+            "warning: observability already enabled (REPRO_OBS); --trace ignored",
+            file=sys.stderr,
+        )
+        yield
+        return
+    obs.enable(trace, argv=argv)
+    try:
+        yield
+    finally:
+        manifest = obs.disable()
+        if manifest is not None and manifest.get("trace"):
+            print(
+                f"trace written to {manifest['trace']} "
+                f"(manifest: {obs.manifest_path_for(str(manifest['trace']))})"
+            )
+
+
 def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
     if args.spec is not None:
         return SweepSpec.load(args.spec)
@@ -345,9 +448,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"store  : {store.root}")
             print(f"configs: {status.describe()}")
             return 0
-        if args.action == "worst-case":
-            return _cmd_sweep_worst_case(args, spec)
-        result = runner.run(spec, progress=print)
+        with _tracing(args.trace, argv=getattr(args, "raw_argv", None)):
+            if args.action == "worst-case":
+                return _cmd_sweep_worst_case(args, spec)
+            obs.annotate("sweep_spec", spec.as_dict())
+            obs.annotate(
+                "config_hashes", [config.config_hash() for config in spec.configs()]
+            )
+            result = runner.run(spec, progress=print)
     except (KeyError, TypeError, ValueError) as exc:
         # Unknown protocol/workload names, empty grids, invalid worker
         # counts and protocol kinds an action cannot handle (worst-case is
@@ -420,6 +528,34 @@ def _cmd_sweep_worst_case(args: argparse.Namespace, spec: SweepSpec) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench compare``: diff benchmark artifacts, fail on drift."""
+    try:
+        reports = obs.compare_many(args.sources, tolerance=args.tolerance)
+    except ValueError as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    regressed = False
+    for index, report in enumerate(reports):
+        if index:
+            print()
+        print(obs.render_report(report))
+        regressed = regressed or not report.ok
+    return 1 if regressed else 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """``repro obs report``: summarize one JSONL trace."""
+    try:
+        summary = obs.summarize_trace(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    print(obs.render_summary(summary, top=args.top))
+    return 0
+
+
 def _cmd_verify_matrix(args: argparse.Namespace) -> int:
     try:
         seed, report = find_waking_matrix_seed(
@@ -441,6 +577,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    # The command line as invoked, recorded in trace manifests (--trace).
+    args.raw_argv = ["repro", *(sys.argv[1:] if argv is None else list(argv))]
     handlers = {
         "simulate": _cmd_simulate,
         "bounds": _cmd_bounds,
@@ -448,6 +586,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "verify-matrix": _cmd_verify_matrix,
         "workloads": _cmd_workloads,
         "sweep": _cmd_sweep,
+        "bench": _cmd_bench,
+        "obs": _cmd_obs,
     }
     return handlers[args.command](args)
 

@@ -52,6 +52,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro._util import MAX_CELLS_PER_CHUNK, RngLike, spawn_generators
 from repro.channel.protocols import (
     DeterministicProtocol,
@@ -329,6 +330,7 @@ def _chunked_first_success_scan(
 
     chunk_start = int(first_wake.min())
     chunk_len = max(16, int(chunk))
+    chunk_index = 0
 
     while not row_done.all():
         active_rows = np.flatnonzero(~row_done)
@@ -345,65 +347,70 @@ def _chunked_first_success_scan(
         chunk_stop = min(scan_stop, chunk_start + length)
         length = chunk_stop - chunk_start
 
-        row_pos = np.full(B, -1, dtype=np.int64)
-        row_pos[active_rows] = np.arange(A, dtype=np.int64)
+        with obs.span("engine.chunk_scan", chunk=chunk_index, slots=length, rows=A):
+            row_pos = np.full(B, -1, dtype=np.int64)
+            row_pos[active_rows] = np.arange(A, dtype=np.int64)
 
-        live = (
-            (~row_done[pair_row])
-            & (pair_wake < chunk_stop)
-            & (horizon[pair_row] > chunk_start)
-        )
-        live_pairs = np.flatnonzero(live)
-        if live_pairs.size:
-            entry_global, entry_slot = emit(live_pairs, chunk_start, chunk_stop)
-            entry_pos = row_pos[pair_row[entry_global]]
-            counts = np.bincount(
-                entry_pos * length + (entry_slot - chunk_start), minlength=A * length
-            ).reshape(A, length)
-        else:
-            entry_global = np.empty(0, dtype=np.int64)
-            entry_slot = np.empty(0, dtype=np.int64)
-            entry_pos = np.empty(0, dtype=np.int64)
-            counts = np.zeros((A, length), dtype=np.int64)
+            live = (
+                (~row_done[pair_row])
+                & (pair_wake < chunk_stop)
+                & (horizon[pair_row] > chunk_start)
+            )
+            live_pairs = np.flatnonzero(live)
+            if live_pairs.size:
+                entry_global, entry_slot = emit(live_pairs, chunk_start, chunk_stop)
+                entry_pos = row_pos[pair_row[entry_global]]
+                counts = np.bincount(
+                    entry_pos * length + (entry_slot - chunk_start), minlength=A * length
+                ).reshape(A, length)
+            else:
+                entry_global = np.empty(0, dtype=np.int64)
+                entry_slot = np.empty(0, dtype=np.int64)
+                entry_pos = np.empty(0, dtype=np.int64)
+                counts = np.zeros((A, length), dtype=np.int64)
 
-        # A slot only counts for a row inside the row's own horizon window.
-        # Horizon-valid columns form a per-row prefix, so it suffices to find
-        # the first singleton column and check it against the prefix length —
-        # no 2-D validity mask needed.
-        singles = counts == 1
-        first_col = np.argmax(singles, axis=1)
-        has_success = singles[np.arange(A), first_col] & (
-            first_col < horizon[active_rows] - chunk_start
-        )
+            # A slot only counts for a row inside the row's own horizon window.
+            # Horizon-valid columns form a per-row prefix, so it suffices to find
+            # the first singleton column and check it against the prefix length —
+            # no 2-D validity mask needed.
+            singles = counts == 1
+            first_col = np.argmax(singles, axis=1)
+            has_success = singles[np.arange(A), first_col] & (
+                first_col < horizon[active_rows] - chunk_start
+            )
 
-        if has_success.any():
-            won_pos = np.flatnonzero(has_success)
-            won_rows = active_rows[won_pos]
-            won_slots = chunk_start + first_col[won_pos]
-            solved[won_rows] = True
-            success_slot[won_rows] = won_slots
-            latency[won_rows] = won_slots - first_wake[won_rows]
-            # The unique transmitter of each winning slot is recovered from the
-            # chunk's own (pair, slot) entries: counts said "exactly one", so
-            # exactly one entry matches per newly solved row.
-            success_col = np.full(A, -1, dtype=np.int64)
-            success_col[won_pos] = first_col[won_pos]
-            match = entry_slot - chunk_start == success_col[entry_pos]
-            matched = np.flatnonzero(match)
-            if matched.size != won_pos.size:
-                raise RuntimeError(
-                    "internal inconsistency: 2-D transmit counts found singleton "
-                    f"slots for {won_pos.size} rows but {matched.size} transmitter "
-                    "entries matched them"
-                )
-            winner[pair_row[entry_global[matched]]] = pair_station[entry_global[matched]]
-            row_done[won_rows] = True
+            if has_success.any():
+                won_pos = np.flatnonzero(has_success)
+                won_rows = active_rows[won_pos]
+                won_slots = chunk_start + first_col[won_pos]
+                solved[won_rows] = True
+                success_slot[won_rows] = won_slots
+                latency[won_rows] = won_slots - first_wake[won_rows]
+                # The unique transmitter of each winning slot is recovered from the
+                # chunk's own (pair, slot) entries: counts said "exactly one", so
+                # exactly one entry matches per newly solved row.
+                success_col = np.full(A, -1, dtype=np.int64)
+                success_col[won_pos] = first_col[won_pos]
+                match = entry_slot - chunk_start == success_col[entry_pos]
+                matched = np.flatnonzero(match)
+                if matched.size != won_pos.size:
+                    raise RuntimeError(
+                        "internal inconsistency: 2-D transmit counts found singleton "
+                        f"slots for {won_pos.size} rows but {matched.size} transmitter "
+                        "entries matched them"
+                    )
+                winner[pair_row[entry_global[matched]]] = pair_station[entry_global[matched]]
+                row_done[won_rows] = True
 
-        # Account the scanned window per still-active row (diagnostic).
-        windows = np.minimum(chunk_stop, horizon[active_rows]) - np.maximum(
-            chunk_start, first_wake[active_rows]
-        )
-        slots_examined[active_rows] += np.maximum(windows, 0)
+            # Account the scanned window per still-active row (diagnostic).
+            windows = np.minimum(chunk_stop, horizon[active_rows]) - np.maximum(
+                chunk_start, first_wake[active_rows]
+            )
+            slots_examined[active_rows] += np.maximum(windows, 0)
+
+        obs.add("engine.chunks")
+        obs.add("engine.slots_scanned", int(np.maximum(windows, 0).sum()))
+        chunk_index += 1
 
         # Rows whose horizon is fully scanned are finished (unsolved).
         row_done[np.flatnonzero(~solved & (horizon <= chunk_stop))] = True
@@ -411,6 +418,8 @@ def _chunked_first_success_scan(
         chunk_start = chunk_stop
         chunk_len = min(chunk_len * 2, _MAX_CHUNK)
 
+    obs.add("engine.patterns", B)
+    obs.add("engine.patterns_solved", int(np.count_nonzero(solved)))
     return solved, success_slot, winner, latency, slots_examined
 
 

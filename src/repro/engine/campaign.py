@@ -49,6 +49,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro._util import RngLike, spawn_generators
 from repro.channel.protocols import DeterministicProtocol, RandomizedPolicy
 from repro.channel.simulator import DEFAULT_MAX_SLOTS
@@ -157,11 +158,16 @@ class Campaign:
             (patterns[i : i + self.shard_size], generators[i : i + self.shard_size])
             for i in range(0, len(patterns), self.shard_size)
         ]
-        if self.workers > 1 and len(jobs) > 1:
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                results = list(pool.map(self._run_shard, jobs))
-        else:
-            results = [self._run_shard(job) for job in jobs]
+        with obs.span(
+            "campaign.run", shards=len(jobs), patterns=len(patterns)
+        ):
+            if self.workers > 1 and len(jobs) > 1:
+                with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                    results = list(pool.map(self._run_shard, jobs))
+            else:
+                results = [self._run_shard(job) for job in jobs]
+        obs.add("campaign.shards", len(jobs))
+        obs.add("campaign.patterns", len(patterns))
         return BatchResult.concat(results)
 
     def _run_shard(self, job: _Shard) -> BatchResult:

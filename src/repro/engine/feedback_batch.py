@@ -51,6 +51,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.channel.feedback import FeedbackModel, signal_table
 from repro.channel.protocols import FeedbackVectorizedPolicy, RandomizedPolicy
 from repro.channel.simulator import DEFAULT_MAX_SLOTS
@@ -172,58 +173,70 @@ def run_feedback_batch(
     draw = _make_row_draw(generators, pair_row)
     alive_pair = np.ones(pair_row.shape[0], dtype=bool)
     slot = int(first_wake.min())
+    # Aggregated locally and reported once after the loop: per-slot obs calls
+    # would dominate the disabled-mode cost of this slot-synchronous loop.
+    slots_stepped = 0
 
-    while not row_done.all():
-        # Retire rows whose horizon is exhausted (unsolved), exactly where
-        # the slot loop would have given up on them.
-        expired = ~row_done & (horizon <= slot)
-        if expired.any():
-            row_done[expired] = True
-            if row_done.all():
-                break
-            alive_pair = ~row_done[pair_row]
+    with obs.span("engine.feedback_batch", patterns=B):
+        while not row_done.all():
+            # Retire rows whose horizon is exhausted (unsolved), exactly where
+            # the slot loop would have given up on them.
+            expired = ~row_done & (horizon <= slot)
+            if expired.any():
+                row_done[expired] = True
+                if row_done.all():
+                    break
+                alive_pair = ~row_done[pair_row]
 
-        awake = alive_pair & (pair_wake <= slot)
-        if not awake.any():
-            # No unresolved pattern has an awake station: the slot loop would
-            # resolve empty slots with no draws and no state changes, so jump
-            # straight to the next wake-up among unresolved patterns.
-            pending = pair_wake[alive_pair]
-            upcoming = pending[pending > slot]
-            if upcoming.size == 0:
-                break
-            slot = int(upcoming.min())
-            continue
+            awake = alive_pair & (pair_wake <= slot)
+            if not awake.any():
+                # No unresolved pattern has an awake station: the slot loop
+                # would resolve empty slots with no draws and no state changes,
+                # so jump straight to the next wake-up among unresolved
+                # patterns.
+                pending = pair_wake[alive_pair]
+                upcoming = pending[pending > slot]
+                if upcoming.size == 0:
+                    break
+                slot = int(upcoming.min())
+                continue
 
-        tx = np.asarray(policy.batch_transmit_mask(state, slot, awake), dtype=bool)
-        tx &= awake
-        tx_pairs = np.flatnonzero(tx)
-        if tx_pairs.size:
-            # Burn one uniform per transmitter: the slot loop draws one
-            # transmit decision per awake station with positive probability,
-            # and for a 0/1 policy those are exactly the transmitters.
-            draw(tx_pairs)
-            tx_per_row = np.bincount(pair_row[tx_pairs], minlength=B)
-        else:
-            tx_per_row = np.zeros(B, dtype=np.int64)
+            tx = np.asarray(policy.batch_transmit_mask(state, slot, awake), dtype=bool)
+            tx &= awake
+            tx_pairs = np.flatnonzero(tx)
+            if tx_pairs.size:
+                # Burn one uniform per transmitter: the slot loop draws one
+                # transmit decision per awake station with positive probability,
+                # and for a 0/1 policy those are exactly the transmitters.
+                draw(tx_pairs)
+                tx_per_row = np.bincount(pair_row[tx_pairs], minlength=B)
+            else:
+                tx_per_row = np.zeros(B, dtype=np.int64)
 
-        # Outcome codes per row: 0 = silence, 1 = success, 2 = collision.
-        outcome = (tx_per_row > 0).astype(np.int8) + (tx_per_row > 1).astype(np.int8)
-        signals = lut[outcome[pair_row], tx.astype(np.int8)]
-        policy.batch_observe(state, slot, signals, tx, awake, draw)
+            # Outcome codes per row: 0 = silence, 1 = success, 2 = collision.
+            outcome = (tx_per_row > 0).astype(np.int8) + (tx_per_row > 1).astype(
+                np.int8
+            )
+            signals = lut[outcome[pair_row], tx.astype(np.int8)]
+            policy.batch_observe(state, slot, signals, tx, awake, draw)
 
-        won = ~row_done & (tx_per_row == 1)
-        if won.any():
-            sole = tx_pairs[won[pair_row[tx_pairs]]]
-            winner[pair_row[sole]] = pair_station[sole]
-            won_rows = np.flatnonzero(won)
-            solved[won_rows] = True
-            success_slot[won_rows] = slot
-            latency[won_rows] = slot - first_wake[won_rows]
-            row_done[won_rows] = True
-            alive_pair = ~row_done[pair_row]
+            won = ~row_done & (tx_per_row == 1)
+            if won.any():
+                sole = tx_pairs[won[pair_row[tx_pairs]]]
+                winner[pair_row[sole]] = pair_station[sole]
+                won_rows = np.flatnonzero(won)
+                solved[won_rows] = True
+                success_slot[won_rows] = slot
+                latency[won_rows] = slot - first_wake[won_rows]
+                row_done[won_rows] = True
+                alive_pair = ~row_done[pair_row]
 
-        slot += 1
+            slot += 1
+            slots_stepped += 1
+
+    obs.add("engine.feedback_slots", slots_stepped)
+    obs.add("engine.patterns", B)
+    obs.add("engine.patterns_solved", int(np.count_nonzero(solved)))
 
     # Match the slot-loop engine's accounting exactly: a solved run examines
     # latency + 1 slots, an unsolved run the full horizon.

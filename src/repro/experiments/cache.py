@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro import obs
 from repro._util import ceil_log2
 from repro.core.selective import SelectiveFamily, concatenated_families
 
@@ -39,10 +40,19 @@ class FamilyCache:
         needed = max(1, ceil_log2(max(2, min(max_k, n))))
         cached = self._store.get(key, [])
         if len(cached) < needed:
-            # Rebuild the whole sequence deterministically from the seed so that
-            # prefixes are identical no matter in which order sizes were requested.
-            cached = concatenated_families(n, min(2**needed, n), method=method, rng=seed)
+            # Gauges, not counters: cache state is per-process, so hit/miss
+            # totals legitimately vary with the sweep worker count.
+            obs.gauge("family_cache.misses")
+            with obs.span("family_cache.build", n=int(n), levels=needed):
+                # Rebuild the whole sequence deterministically from the seed so
+                # that prefixes are identical no matter in which order sizes
+                # were requested.
+                cached = concatenated_families(
+                    n, min(2**needed, n), method=method, rng=seed
+                )
             self._store[key] = cached
+        else:
+            obs.gauge("family_cache.hits")
         return cached[:needed]
 
     def clear(self) -> None:

@@ -45,10 +45,12 @@ points, which every worker loads on import, or run with ``workers <= 1``.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
 
+from repro import obs
 from repro.engine import BatchResult, Campaign
 from repro.sweeps.spec import SweepConfig, SweepSpec
 from repro.sweeps.store import ConfigRecord, SweepStore
@@ -84,6 +86,37 @@ def resolve_config(config: SweepConfig) -> ConfigRecord:
     return ConfigRecord.from_batch(config, campaign.run(patterns))
 
 
+class _InstrumentedJob:
+    """Picklable wrapper running one job under :func:`repro.obs.capture`.
+
+    Workers (or the serial path, for uniformity) collect the job's counters,
+    gauges and span timings into a fresh in-memory state and ship the
+    snapshot back with the result; the parent folds snapshots into its own
+    session with :func:`repro.obs.merge_snapshot`.  Because the aggregates
+    are additive and the capture state has no sink, trace files see no
+    interleaved worker writes and counter totals are worker-count invariant.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[_Job], _Out]) -> None:
+        self.fn = fn
+
+    def __getstate__(self):
+        return self.fn
+
+    def __setstate__(self, fn) -> None:
+        self.fn = fn
+
+    def __call__(self, job: _Job):
+        t0 = time.perf_counter()
+        with obs.capture() as state:
+            result = self.fn(job)
+            obs.gauge("sweeps.job_seconds", time.perf_counter() - t0)
+            snap = state.snapshot()
+        return result, snap
+
+
 def map_jobs(
     fn: Callable[[_Job], _Out],
     jobs: Sequence[_Job],
@@ -102,30 +135,78 @@ def map_jobs(
 
     ``on_result(index, result)`` fires as each job finishes (completion
     order) — the hook the sweep store uses to persist records incrementally.
+
+    When an observability session is active (:func:`repro.obs.enabled`), each
+    job runs under a capture (see :class:`_InstrumentedJob`) and its snapshot
+    is merged back here, on both the serial and the process path, so counter
+    totals do not depend on ``workers``.  One ``job`` trace event is emitted
+    per job with its duration and per-job aggregates.
     """
     jobs = list(jobs)
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
+    instrumented = obs.enabled()
+    run: Callable = _InstrumentedJob(fn) if instrumented else fn
+
+    def _deliver(index: int, raw) -> _Out:
+        if instrumented:
+            result, snap = raw
+            obs.merge_snapshot(snap)
+            obs.event(
+                "job",
+                index=index,
+                counters=snap["counters"],
+                gauges=snap["gauges"],
+            )
+        else:
+            result = raw
+        if on_result is not None:
+            on_result(index, result)
+        return result
+
     if workers <= 1 or len(jobs) <= 1:
-        results: List[_Out] = []
-        for index, job in enumerate(jobs):
-            result = fn(job)
-            if on_result is not None:
-                on_result(index, result)
-            results.append(result)
-        return results
+        return [_deliver(index, run(job)) for index, job in enumerate(jobs)]
     out: Dict[int, _Out] = {}
     with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
-        pending = {pool.submit(fn, job): index for index, job in enumerate(jobs)}
+        pending = {pool.submit(run, job): index for index, job in enumerate(jobs)}
         while pending:
             done, _ = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
                 index = pending.pop(future)
-                result = future.result()
-                if on_result is not None:
-                    on_result(index, result)
-                out[index] = result
+                out[index] = _deliver(index, future.result())
     return [out[index] for index in range(len(jobs))]
+
+
+@dataclass
+class _ProgressMeter:
+    """Format one progress line per resolved config.
+
+    Lines keep the historical ``resolved <...>`` prefix and add live
+    counts from the run's :class:`SweepStatus` view plus throughput and an
+    ETA over the *fresh* configs (store-reused records complete instantly
+    and would skew a naive rate).  Counts are exact at any worker count —
+    they advance one per delivered record in the parent process; only the
+    rate/ETA figures are wall-clock estimates.
+    """
+
+    total: int
+    completed: int
+    emit: Callable[[str], None]
+    _t0: float = field(default_factory=time.perf_counter)
+    _fresh: int = 0
+
+    def step(self, label: str) -> None:
+        self.completed += 1
+        self._fresh += 1
+        elapsed = time.perf_counter() - self._t0
+        rate = self._fresh / elapsed if elapsed > 0 else 0.0
+        status = SweepStatus(total=self.total, completed=self.completed)
+        line = f"resolved {label} [{status.completed}/{status.total}"
+        if rate > 0:
+            line += f", {rate:.2f} configs/s"
+            if status.pending:
+                line += f", eta ~{status.pending / rate:.0f}s"
+        self.emit(line + "]")
 
 
 @dataclass(frozen=True)
@@ -225,14 +306,27 @@ class SweepRunner:
                 pending.append(config)
                 pending_indices.append(index)
         reused = len(records)
+        obs.add("sweeps.configs_total", len(configs))
+        obs.add("sweeps.configs_reused", reused)
+        meter = (
+            None
+            if progress is None
+            else _ProgressMeter(total=len(configs), completed=reused, emit=progress)
+        )
 
         def _finished(position: int, record: ConfigRecord) -> None:
             if self.store is not None:
                 self.store.save(record)
-            if progress is not None:
-                progress(f"resolved {record.config.label()}")
+            obs.add("sweeps.configs_resolved")
+            if meter is not None:
+                meter.step(record.config.label())
 
-        fresh = map_jobs(resolve_config, pending, workers=self.workers, on_result=_finished)
+        with obs.span(
+            "sweeps.run", total=len(configs), pending=len(pending), workers=self.workers
+        ):
+            fresh = map_jobs(
+                resolve_config, pending, workers=self.workers, on_result=_finished
+            )
         for index, record in zip(pending_indices, fresh):
             records[index] = record
         return SweepResult(

@@ -2,8 +2,12 @@
 
 from __future__ import annotations
 
+import copy
+import json
+
 import pytest
 
+from repro import obs
 from repro.cli import PATTERNS, PROTOCOLS, build_parser, main
 
 
@@ -249,6 +253,122 @@ class TestSweepCommand:
         ])
         assert exit_code == 1
         assert "NOT SOLVED" in capsys.readouterr().out
+
+    def test_progress_lines_carry_counts_and_rate(self, capsys):
+        assert main(["sweep", "run", *self.INLINE]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.startswith("resolved ")]
+        assert len(lines) == 2
+        assert "[1/2" in lines[0] and "[2/2" in lines[1]
+        assert "configs/s" in lines[0]
+        assert "eta ~" in lines[0]  # pending work remains after the first line
+        assert "eta" not in lines[1]  # nothing pending after the last
+
+    def test_trace_writes_jsonl_and_manifest(self, capsys, tmp_path):
+        trace = tmp_path / "sweep.jsonl"
+        argv = ["sweep", "run", *self.INLINE, "--trace", str(trace)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {trace}" in out
+        assert not obs.enabled(), "--trace session must end with the command"
+        manifest = obs.validate_manifest(
+            json.loads(obs.manifest_path_for(trace).read_text())
+        )
+        assert manifest["argv"] == ["repro", *argv]
+        assert manifest["counters"]["sweeps.configs_resolved"] == 2
+        assert manifest["meta"]["sweep_spec"]["protocols"] == [
+            "round-robin", "scenario-b",
+        ]
+        assert len(manifest["meta"]["config_hashes"]) == 2
+        summary = obs.summarize_trace(trace)
+        assert summary.counters == manifest["counters"]
+
+    def test_trace_counter_totals_are_worker_count_invariant(self, capsys, tmp_path):
+        counters = {}
+        for workers in ("1", "4"):
+            trace = tmp_path / f"w{workers}.jsonl"
+            args = [
+                "sweep", "run", *self.INLINE,
+                "--workers", workers, "--trace", str(trace),
+            ]
+            assert main(args) == 0
+            manifest = json.loads(obs.manifest_path_for(trace).read_text())
+            counters[workers] = manifest["counters"]
+        capsys.readouterr()
+        assert counters["1"] == counters["4"]
+
+
+def _bench_artifact():
+    return {
+        "schema": 2,
+        "gates": {
+            "deterministic_batch": {
+                "threshold_speedup": 10.0,
+                "unit": "patterns/sec",
+                "measurements": [
+                    {"protocol": "round_robin", "config": "B=256", "speedup": 80.0}
+                ],
+            }
+        },
+    }
+
+
+class TestBenchCommand:
+    def test_compare_identical_artifacts_exits_zero(self, capsys, tmp_path):
+        path = tmp_path / "a.json"
+        path.write_text(json.dumps(_bench_artifact()))
+        assert main(["bench", "compare", str(path), str(path)]) == 0
+        assert "OK: no metric drifted" in capsys.readouterr().out
+
+    def test_compare_flags_30_percent_regression(self, capsys, tmp_path):
+        base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+        base.write_text(json.dumps(_bench_artifact()))
+        worse = copy.deepcopy(_bench_artifact())
+        worse["gates"]["deterministic_batch"]["measurements"][0]["speedup"] = 56.0
+        cur.write_text(json.dumps(worse))
+        assert main(["bench", "compare", str(base), str(cur)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "-30.0%" in out
+
+    def test_tolerance_flag_loosens_the_bar(self, capsys, tmp_path):
+        base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+        base.write_text(json.dumps(_bench_artifact()))
+        worse = copy.deepcopy(_bench_artifact())
+        worse["gates"]["deterministic_batch"]["measurements"][0]["speedup"] = 56.0
+        cur.write_text(json.dumps(worse))
+        argv = ["bench", "compare", str(base), str(cur), "--tolerance", "0.4"]
+        assert main(argv) == 0
+        capsys.readouterr()
+
+    def test_unreadable_artifact_is_usage_error(self, capsys, tmp_path):
+        path = tmp_path / "a.json"
+        path.write_text(json.dumps(_bench_artifact()))
+        missing = tmp_path / "nope.json"
+        assert main(["bench", "compare", str(path), str(missing)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_single_source_is_usage_error(self, capsys, tmp_path):
+        path = tmp_path / "a.json"
+        path.write_text(json.dumps(_bench_artifact()))
+        assert main(["bench", "compare", str(path)]) == 2
+        assert "at least two artifacts" in capsys.readouterr().err
+
+
+class TestObsCommand:
+    def test_report_summarizes_a_traced_sweep(self, capsys, tmp_path):
+        trace = tmp_path / "sweep.jsonl"
+        assert main(["sweep", "run", *TestSweepCommand.INLINE, "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "top spans by cumulative time:" in out
+        assert "sweeps.run" in out
+        assert "counter totals:" in out
+        assert "configs/sec" in out
+
+    def test_report_missing_trace_is_usage_error(self, capsys, tmp_path):
+        assert main(["obs", "report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
 
 
 class TestVerifyMatrixCommand:

@@ -53,6 +53,7 @@ class TestReadme:
             "bench_feedback_throughput.py",
             "bench_wakeup_throughput.py",
             "bench_sweep_throughput.py",
+            "bench_obs_overhead.py",
         ):
             assert bench in readme_text, f"README.md speedup table misses {bench}"
 
@@ -112,3 +113,13 @@ class TestCliDocstring:
             assert f"``{command}``" in cli.__doc__, (
                 f"cli module docstring does not document `{command}`"
             )
+
+    def test_help_epilog_names_every_subcommand(self):
+        # `repro --help` ends with a one-line-per-subcommand epilog; a new
+        # subparser must appear there or the top-level help goes stale.
+        parser = cli.build_parser()
+        assert parser.epilog, "repro parser must carry a subcommand epilog"
+        for command in _subcommands():
+            assert re.search(
+                rf"^\s{{2}}{re.escape(command)}\s{{2,}}\S", parser.epilog, re.M
+            ), f"`repro --help` epilog does not list `{command}`"
