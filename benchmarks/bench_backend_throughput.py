@@ -1,0 +1,235 @@
+"""Per-backend engine throughput through the array-backend layer.
+
+The backend shim (:mod:`repro.engine.backend`) promises two things: the
+NumPy reference path costs nothing (the shim is attribute dispatch over the
+same kernels), and the optional fast paths — numexpr's fused expressions,
+CuPy's device arrays — actually pay for themselves.  This gate records
+patterns/sec for all three engines on every backend installed in the
+environment (always at least ``numpy``; the numexpr/cupy entries appear on
+the CI leg that installs them), asserting in the same breath that every
+backend's outcome columns equal the reference bit for bit.
+
+When real numexpr is installed, ``test_numexpr_fused_kernels_speedup``
+additionally gates the fused expressions themselves at >= 1.2x the NumPy
+evaluation of the same masks — the per-chunk live/singles/compare block the
+scan spends its element-wise time in.  Absent numexpr the test skips
+cleanly, keeping the default CI leg dependency-free.
+
+The scratch-reuse satellite is covered here too: one deterministic batch is
+run under ``obs.capture()`` and the ``engine.scratch_bytes_reused`` gauge —
+allocations the per-chunk buffers avoided from the second chunk on — must be
+positive.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_backend_throughput.py -s
+    REPRO_BACKEND=numexpr PYTHONPATH=src python -m pytest benchmarks/bench_backend_throughput.py -s
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro._util import spawn_generators
+from repro.baselines import BinaryExponentialBackoff
+from repro.core.randomized import RepeatedProbabilityDecrease
+from repro.core.round_robin import RoundRobin
+from repro.engine import (
+    available_backends,
+    get_backend,
+    run_deterministic_batch,
+    run_feedback_batch,
+    run_randomized_batch,
+)
+from repro.workloads import WorkloadSuite
+
+N, K, BATCH = 1024, 64, 256
+SEED = 0
+
+
+def _patterns():
+    return WorkloadSuite().generate("simultaneous", n=N, k=K, batch=BATCH, seed=0)
+
+
+def _generators(count=BATCH):
+    return spawn_generators(SEED, count, "campaign")
+
+
+def _engines():
+    """One engine entry point per execution kind, at the reference config."""
+    return {
+        "deterministic": lambda backend, patterns: run_deterministic_batch(
+            RoundRobin(N), patterns, backend=backend
+        ),
+        "randomized": lambda backend, patterns: run_randomized_batch(
+            RepeatedProbabilityDecrease(N, k=K),
+            patterns,
+            rngs=_generators(len(patterns)),
+            backend=backend,
+        ),
+        "feedback": lambda backend, patterns: run_feedback_batch(
+            BinaryExponentialBackoff(N),
+            patterns,
+            rngs=_generators(len(patterns)),
+            backend=backend,
+        ),
+    }
+
+
+def _best_of(fn, repeats=3):
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def _assert_same_columns(result, reference):
+    for column in ("solved", "success_slot", "winner", "latency", "slots_examined"):
+        np.testing.assert_array_equal(
+            getattr(result, column),
+            getattr(reference, column),
+            err_msg=f"backend diverged from the numpy reference on {column!r}",
+        )
+
+
+def test_backend_engine_rates(record_gate):
+    """Record patterns/sec per (engine, backend); every backend bit-equal."""
+    patterns = _patterns()
+    engines = _engines()
+    backends = available_backends()
+    assert "numpy" in backends
+    measurements = []
+    for engine_name, run in engines.items():
+        reference = run("numpy", patterns)
+        for backend_name in backends:
+            backend = get_backend(backend_name)
+            run(backend, patterns[:16])  # warm up (imports, lazy caches)
+            result = run(backend, patterns)
+            _assert_same_columns(result, reference)
+            elapsed = _best_of(lambda: run(backend, patterns))
+            rate = BATCH / elapsed
+            print(f"{engine_name} on {backend_name}: {rate:,.0f} patterns/s")
+            measurements.append(
+                {
+                    "engine": engine_name,
+                    "backend": backend_name,
+                    "config": f"B={BATCH} n={N} k={K}",
+                    "rate": round(rate, 1),
+                }
+            )
+    # The gate is equality (asserted above), not a speed floor: threshold 1.0
+    # records that any backend slower than ~the reference is drift, caught by
+    # `repro bench compare` against the committed baseline.
+    record_gate(
+        "backend_throughput",
+        threshold=1.0,
+        unit="patterns/sec",
+        measurements=measurements,
+    )
+
+
+def test_nondefault_backends_recorded_or_skipped():
+    """The gate covers every installed backend; missing ones skip cleanly."""
+    backends = available_backends()
+    for name in ("numexpr", "cupy"):
+        if name not in backends:
+            pytest.skip(f"optional backends absent ({backends}); nothing to cover")
+    # When both optional packages exist this trivially passes — the coverage
+    # assertion lives in test_backend_engine_rates, which loops over them.
+
+
+def test_numexpr_fused_kernels_speedup(record_gate):
+    """Fused-path gate: numexpr >= 1.2x NumPy on the scan's mask expressions."""
+    pytest.importorskip("numexpr")
+    numpy_backend = get_backend("numpy")
+    numexpr_backend = get_backend("numexpr")
+
+    rng = np.random.default_rng(SEED)
+    pairs = 2_000_000
+    done = rng.random(pairs) < 0.3
+    wake = rng.integers(0, 1000, pairs)
+    horizon = wake + rng.integers(1, 2000, pairs)
+    counts = rng.integers(0, 3, pairs).reshape(1000, -1)
+    draws = rng.random(pairs)
+    probs = rng.random(pairs)
+
+    def fused(backend):
+        backend.live_mask(done, wake, horizon, 100, 900)
+        backend.singles_mask(counts)
+        backend.compare_draws(draws, probs)
+
+    for backend in (numpy_backend, numexpr_backend):
+        fused(backend)  # warm up (numexpr compiles and caches expressions)
+    numpy_time = _best_of(lambda: fused(numpy_backend), repeats=5)
+    numexpr_time = _best_of(lambda: fused(numexpr_backend), repeats=5)
+    speedup = numpy_time / numexpr_time
+    print(
+        f"fused masks ({pairs:,} cells): numpy {numpy_time * 1e3:.1f} ms, "
+        f"numexpr {numexpr_time * 1e3:.1f} ms, speedup {speedup:.2f}x"
+    )
+    record_gate(
+        "backend_numexpr_fused",
+        threshold=1.2,
+        unit="speedup",
+        measurements=[
+            {
+                "backend": "numexpr",
+                "kernel": "live+singles+compare",
+                "config": f"cells={pairs}",
+                "speedup": round(speedup, 2),
+            }
+        ],
+    )
+    assert speedup >= 1.2, (
+        f"numexpr fused path only {speedup:.2f}x over NumPy on the scan masks"
+    )
+
+
+def test_numexpr_fused_kernels_match_reference():
+    """The fused expressions compute exactly the reference masks."""
+    pytest.importorskip("numexpr")
+    numpy_backend = get_backend("numpy")
+    numexpr_backend = get_backend("numexpr")
+    rng = np.random.default_rng(1)
+    done = rng.random(10_000) < 0.5
+    wake = rng.integers(0, 100, 10_000)
+    horizon = wake + rng.integers(1, 200, 10_000)
+    counts = rng.integers(0, 3, 10_000)
+    draws = rng.random(10_000)
+    probs = rng.random(10_000)
+    np.testing.assert_array_equal(
+        numexpr_backend.live_mask(done, wake, horizon, 10, 90),
+        numpy_backend.live_mask(done, wake, horizon, 10, 90),
+    )
+    np.testing.assert_array_equal(
+        numexpr_backend.singles_mask(counts), numpy_backend.singles_mask(counts)
+    )
+    np.testing.assert_array_equal(
+        numexpr_backend.compare_draws(draws, probs),
+        numpy_backend.compare_draws(draws, probs),
+    )
+
+
+def test_scratch_reuse_gauge_reports_saved_allocations():
+    """The scan reuses its per-chunk buffers and reports the bytes saved."""
+    from repro.channel.wakeup import WakeupPattern
+
+    # High station ids force round-robin successes far past the first chunk,
+    # so the scan spans many chunks and the scratch buffers are reused (the
+    # gauge only counts chunks after the first).
+    patterns = [
+        WakeupPattern(N, {N - 1 - offset: 0, N - 2 - offset: 0})
+        for offset in range(0, 64, 2)
+    ]
+    with obs.capture() as state:
+        run_deterministic_batch(RoundRobin(N), patterns, chunk=16)
+        snapshot = state.snapshot()
+    reused = snapshot["gauges"].get("engine.scratch_bytes_reused", 0)
+    chunks = snapshot["counters"].get("engine.chunks", 0)
+    print(f"scratch bytes reused: {reused:,.0f} across {chunks} chunks")
+    assert chunks > 1, "staggered workload should span multiple chunks"
+    assert reused > 0, "multi-chunk scan must reuse its scratch buffers"

@@ -24,7 +24,10 @@ Eight subcommands cover the workflows a user needs without writing Python:
     its patterns through the batch engine (:mod:`repro.engine`):
     ``list`` the registered scenario generators, ``sample`` a few concrete
     patterns, or ``run`` a whole batch against a protocol and print latency
-    summary statistics.
+    summary statistics.  ``--backend`` selects the engine's array backend
+    (``numpy``/``numexpr``/``cupy``/``auto``; default follows
+    ``REPRO_BACKEND``) — outcomes are bit-for-bit identical on every
+    backend.
 
 ``sweep``
     Orchestrate whole config grids through :mod:`repro.sweeps`: ``run`` a
@@ -33,14 +36,17 @@ Eight subcommands cover the workflows a user needs without writing Python:
     the ``status`` of a store against a spec, or drive the randomized
     ``worst-case`` search over the grid's (n, k) cells.  Results are
     bit-for-bit identical for any worker count.  ``--trace PATH`` records a
-    structured JSONL trace of the run through :mod:`repro.obs`.
+    structured JSONL trace of the run through :mod:`repro.obs`;
+    ``--backend`` forwards an array-backend name to every worker (execution
+    metadata only — config hashes and results are backend-independent).
 
 ``bench``
     Benchmark-trajectory analytics (:mod:`repro.obs.bench`): ``compare`` two
     or more ``BENCH_results.json`` artifacts — file paths or git revisions
     (``REV`` or ``REV:PATH``) — and fail when a curated throughput metric
     drifted beyond ``--tolerance``, even if it still clears the hard CI
-    gates.
+    gates.  ``--json`` emits the comparison machine-readable instead of the
+    text report (exit codes unchanged).
 
 ``obs``
     Trace analytics (:mod:`repro.obs.report`): ``report`` summarizes a JSONL
@@ -62,6 +68,7 @@ Examples
     python -m repro sweep run --protocols scenario-b scenario-c --n-values 256 512 \\
         --k-values 8 16 --store sweep-store --workers 4
     python -m repro sweep run --n-values 128 --workers 4 --trace sweep-trace.jsonl
+    REPRO_BACKEND=numexpr python -m repro sweep run --n-values 256 --workers 4
     python -m repro sweep status --spec grid.json --store sweep-store
     python -m repro bench compare BENCH_baseline.json BENCH_results.json --tolerance 0.25
     python -m repro obs report sweep-trace.jsonl
@@ -190,6 +197,12 @@ def build_parser() -> argparse.ArgumentParser:
     wl.add_argument("--max-slots", type=int, default=1_000_000)
     wl.add_argument("--shard-size", type=int, default=256, help="patterns per campaign shard")
     wl.add_argument("--workers", type=int, default=0, help="worker threads (0 = serial)")
+    wl.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="array backend for the engine: numpy, numexpr, cupy or auto "
+        "(default: the REPRO_BACKEND environment variable, else numpy); "
+        "outcomes are identical on every backend",
+    )
 
     sweep = subparsers.add_parser(
         "sweep",
@@ -238,6 +251,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a JSONL observability trace of the run to PATH "
         "(plus PATH.manifest.json); see `repro obs report`",
     )
+    sweep.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="array backend forwarded to every sweep worker: numpy, numexpr, "
+        "cupy or auto (default: the REPRO_BACKEND environment variable, "
+        "else numpy); execution metadata only — config hashes and results "
+        "are backend-independent",
+    )
 
     bench = subparsers.add_parser(
         "bench",
@@ -257,6 +277,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--tolerance", type=float, default=0.25,
         help="relative drift that counts as a regression (default 0.25)",
+    )
+    bench.add_argument(
+        "--json", action="store_true",
+        help="emit the comparison as machine-readable JSON instead of the "
+        "text report (exit codes unchanged)",
     )
 
     obs_cmd = subparsers.add_parser(
@@ -371,6 +396,7 @@ def _cmd_workloads_inner(args: argparse.Namespace) -> int:
         shard_size=args.shard_size,
         workers=args.workers,
         seed=args.seed,
+        backend=args.backend,
     )
     result = campaign.run(patterns)
     print(f"protocol: {protocol.describe()}")
@@ -442,7 +468,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     store = SweepStore(args.store) if args.store else None
     try:
-        runner = SweepRunner(workers=args.workers, store=store)
+        runner = SweepRunner(workers=args.workers, store=store, backend=args.backend)
         if args.action == "status":
             status = runner.status(spec)
             print(f"store  : {store.root}")
@@ -536,12 +562,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
         return 2
-    regressed = False
+    regressed = any(not report.ok for report in reports)
+    if args.json:
+        import json
+
+        print(json.dumps([report.as_dict() for report in reports], indent=2))
+        return 1 if regressed else 0
     for index, report in enumerate(reports):
         if index:
             print()
         print(obs.render_report(report))
-        regressed = regressed or not report.ok
     return 1 if regressed else 0
 
 

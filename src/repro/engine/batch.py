@@ -48,12 +48,13 @@ Example
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro import obs
 from repro._util import MAX_CELLS_PER_CHUNK, RngLike, spawn_generators
+from repro.engine.backend import ArrayBackend, get_backend
 from repro.channel.protocols import (
     DeterministicProtocol,
     FeedbackVectorizedPolicy,
@@ -269,6 +270,46 @@ class BatchResult:
 # ---------------------------------------------------------------------------
 
 
+class _ScanScratch:
+    """Reusable per-chunk buffers for one scan invocation.
+
+    The scan's per-chunk masks and index buffers have batch-constant shapes
+    (B rows, P pairs) or monotone-bounded ones (the singles mask), so one
+    allocation per batch serves every chunk.  ``reused_bytes`` tallies the
+    allocations avoided from the second chunk on, reported once per scan as
+    the ``engine.scratch_bytes_reused`` gauge.
+    """
+
+    def __init__(self, n_rows: int, n_pairs: int) -> None:
+        self.row_pos = np.empty(n_rows, dtype=np.int64)
+        self.success_col = np.empty(n_rows, dtype=np.int64)
+        self.done = np.empty(n_pairs, dtype=bool)
+        self.live = np.empty(n_pairs, dtype=bool)
+        self.tmp = np.empty(n_pairs, dtype=bool)
+        self._singles = np.empty(0, dtype=bool)
+        self._fixed_bytes = (
+            self.row_pos.nbytes
+            + self.success_col.nbytes
+            + self.done.nbytes
+            + self.live.nbytes
+            + self.tmp.nbytes
+        )
+        self.chunks = 0
+        self.reused_bytes = 0
+
+    def singles(self, rows: int, cols: int) -> np.ndarray:
+        """A ``(rows, cols)`` bool view over the growable singles buffer."""
+        needed = rows * cols
+        if self._singles.size < needed:
+            self._singles = np.empty(needed, dtype=bool)
+        return self._singles[:needed].reshape(rows, cols)
+
+    def mark_chunk(self) -> None:
+        self.chunks += 1
+        if self.chunks > 1:
+            self.reused_bytes += self._fixed_bytes + self._singles.nbytes
+
+
 def _flatten_patterns(
     patterns: Sequence[WakeupPattern],
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -300,6 +341,7 @@ def _chunked_first_success_scan(
     horizon: np.ndarray,
     chunk: int,
     cost_per_pair: bool = False,
+    backend=None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Resolve every row's first singleton-transmitter slot in one shared scan.
 
@@ -315,18 +357,30 @@ def _chunked_first_success_scan(
     pairs × slots — the randomized engine materializes a dense probability
     matrix over live pairs, so its working set scales with pairs.
 
+    ``backend`` selects the array backend (see :mod:`repro.engine.backend`)
+    for the heavy per-chunk kernels — the bincount transmit counts, the
+    singles mask and the first-success argmax; index-producing masks run on
+    ``backend.host``.  Every backend yields bit-for-bit the reference
+    columns.
+
     Returns ``(solved, success_slot, winner, latency, slots_examined)``
     columns; ``slots_examined`` accounts the scanned window per row (the
     deterministic diagnostic — callers with different conventions overwrite
     it).
     """
     B = int(first_wake.shape[0])
+    B_ = get_backend(backend)
+    H = B_.host
+    usage = B_.usage_begin()
     solved = np.zeros(B, dtype=bool)
     success_slot = np.full(B, -1, dtype=np.int64)
     winner = np.full(B, -1, dtype=np.int64)
     latency = np.full(B, -1, dtype=np.int64)
     slots_examined = np.zeros(B, dtype=np.int64)
     row_done = np.zeros(B, dtype=bool)
+
+    scratch = _ScanScratch(B, int(pair_row.shape[0]))
+    pair_horizon = horizon[pair_row]
 
     chunk_start = int(first_wake.min())
     chunk_len = max(16, int(chunk))
@@ -338,9 +392,11 @@ def _chunked_first_success_scan(
         if chunk_start >= scan_stop:
             break
         A = active_rows.shape[0]
+        scratch.mark_chunk()
+        pair_done = np.take(row_done, pair_row, out=scratch.done)
         # Keep the per-chunk working set bounded regardless of batch size.
         if cost_per_pair:
-            weight = max(1, int(np.count_nonzero(~row_done[pair_row])))
+            weight = max(1, pair_done.size - int(np.count_nonzero(pair_done)))
         else:
             weight = A
         length = min(chunk_len, max(16, _MAX_CELLS_PER_CHUNK // weight))
@@ -348,36 +404,47 @@ def _chunked_first_success_scan(
         length = chunk_stop - chunk_start
 
         with obs.span("engine.chunk_scan", chunk=chunk_index, slots=length, rows=A):
-            row_pos = np.full(B, -1, dtype=np.int64)
+            row_pos = scratch.row_pos
+            row_pos.fill(-1)
             row_pos[active_rows] = np.arange(A, dtype=np.int64)
 
-            live = (
-                (~row_done[pair_row])
-                & (pair_wake < chunk_stop)
-                & (horizon[pair_row] > chunk_start)
+            live = H.live_mask(
+                pair_done,
+                pair_wake,
+                pair_horizon,
+                chunk_start,
+                chunk_stop,
+                out=scratch.live,
+                tmp=scratch.tmp,
             )
             live_pairs = np.flatnonzero(live)
             if live_pairs.size:
                 entry_global, entry_slot = emit(live_pairs, chunk_start, chunk_stop)
                 entry_pos = row_pos[pair_row[entry_global]]
-                counts = np.bincount(
-                    entry_pos * length + (entry_slot - chunk_start), minlength=A * length
+                keys = H.scan_keys(entry_pos, entry_slot, length, chunk_start)
+                counts = B_.bincount(
+                    B_.from_host(keys), minlength=A * length
                 ).reshape(A, length)
+                # A slot only counts for a row inside the row's own horizon
+                # window.  Horizon-valid columns form a per-row prefix, so it
+                # suffices to find the first singleton column and check it
+                # against the prefix length — no 2-D validity mask needed.
+                singles = B_.singles_mask(
+                    counts, out=None if B_.is_device else scratch.singles(A, length)
+                )
+                first_col_k = B_.argmax(singles, axis=1)
+                prefix = B_.from_host(horizon[active_rows] - chunk_start)
+                has_k = singles[B_.xp.arange(A), first_col_k] & (first_col_k < prefix)
+                first_col = np.asarray(B_.to_host(first_col_k), dtype=np.int64)
+                has_success = np.asarray(B_.to_host(has_k), dtype=bool)
             else:
                 entry_global = np.empty(0, dtype=np.int64)
                 entry_slot = np.empty(0, dtype=np.int64)
                 entry_pos = np.empty(0, dtype=np.int64)
-                counts = np.zeros((A, length), dtype=np.int64)
-
-            # A slot only counts for a row inside the row's own horizon window.
-            # Horizon-valid columns form a per-row prefix, so it suffices to find
-            # the first singleton column and check it against the prefix length —
-            # no 2-D validity mask needed.
-            singles = counts == 1
-            first_col = np.argmax(singles, axis=1)
-            has_success = singles[np.arange(A), first_col] & (
-                first_col < horizon[active_rows] - chunk_start
-            )
+                # No transmit events: argmax over all-zero counts selects
+                # column 0 everywhere and no row can have a success.
+                first_col = np.zeros(A, dtype=np.int64)
+                has_success = np.zeros(A, dtype=bool)
 
             if has_success.any():
                 won_pos = np.flatnonzero(has_success)
@@ -389,7 +456,8 @@ def _chunked_first_success_scan(
                 # The unique transmitter of each winning slot is recovered from the
                 # chunk's own (pair, slot) entries: counts said "exactly one", so
                 # exactly one entry matches per newly solved row.
-                success_col = np.full(A, -1, dtype=np.int64)
+                success_col = scratch.success_col[:A]
+                success_col.fill(-1)
                 success_col[won_pos] = first_col[won_pos]
                 match = entry_slot - chunk_start == success_col[entry_pos]
                 matched = np.flatnonzero(match)
@@ -420,6 +488,8 @@ def _chunked_first_success_scan(
 
     obs.add("engine.patterns", B)
     obs.add("engine.patterns_solved", int(np.count_nonzero(solved)))
+    obs.gauge("engine.scratch_bytes_reused", scratch.reused_bytes)
+    B_.usage_report(usage)
     return solved, success_slot, winner, latency, slots_examined
 
 
@@ -444,6 +514,7 @@ def run_deterministic_batch(
     *,
     max_slots: int = DEFAULT_MAX_SLOTS,
     chunk: int = DEFAULT_BATCH_CHUNK,
+    backend: Union[None, str, ArrayBackend] = None,
 ) -> BatchResult:
     """Resolve B wake-up patterns against one protocol in a single scan.
 
@@ -460,6 +531,11 @@ def run_deterministic_batch(
     chunk:
         Initial chunk length of the shared scan; chunks double as the scan
         advances.
+    backend:
+        Array backend for the scan kernels — a name (``numpy``/``numexpr``/
+        ``cupy``/``auto``), an :class:`~repro.engine.backend.ArrayBackend`
+        instance, or ``None`` to follow ``REPRO_BACKEND``.  Outcomes are
+        bit-for-bit identical on every backend.
 
     Returns
     -------
@@ -494,6 +570,7 @@ def run_deterministic_batch(
         first_wake=first_wake,
         horizon=horizon,
         chunk=chunk,
+        backend=backend,
     )
 
     return BatchResult(
@@ -540,6 +617,7 @@ def run_randomized_batch(
     seed: RngLike = None,
     max_slots: int = DEFAULT_MAX_SLOTS,
     chunk: int = DEFAULT_RANDOMIZED_CHUNK,
+    backend: Union[None, str, ArrayBackend] = None,
 ) -> BatchResult:
     """Resolve B wake-up patterns against one randomized policy in one scan.
 
@@ -579,6 +657,10 @@ def run_randomized_batch(
     chunk:
         Initial chunk length of the shared scan; chunks double as the scan
         advances.
+    backend:
+        Array backend for the scan kernels (name, instance, or ``None`` to
+        follow ``REPRO_BACKEND``).  Draws always come from the host
+        generators, so outcomes are bit-for-bit identical on every backend.
 
     Returns
     -------
@@ -604,7 +686,8 @@ def run_randomized_batch(
             from repro.engine.feedback_batch import run_feedback_batch
 
             return run_feedback_batch(
-                policy, patterns, rngs=generators, max_slots=max_slots
+                policy, patterns, rngs=generators, max_slots=max_slots,
+                backend=backend,
             )
         return BatchResult.from_results(
             [
@@ -616,6 +699,8 @@ def run_randomized_batch(
         )
 
     B = len(patterns)
+    B_ = get_backend(backend)
+    H = B_.host
     pair_row, pair_station, pair_wake = _flatten_patterns(patterns)
     k = np.asarray([p.k for p in patterns], dtype=np.int64)
     first_wake = np.asarray([p.first_wake for p in patterns], dtype=np.int64)
@@ -662,10 +747,17 @@ def run_randomized_batch(
         ):
             draws = np.empty((live_row_ids.size, L * k0), dtype=np.float64)
             for r, row in enumerate(live_row_ids):
-                generators[int(row)].random(out=draws[r])
-            hits = draws.reshape(-1, L, k0) < probabilities.reshape(
-                -1, k0, L
-            ).transpose(0, 2, 1)
+                B_.random_uniform(generators[int(row)], out=draws[r])
+            hits = np.asarray(
+                B_.to_host(
+                    B_.compare_draws(
+                        B_.from_host(draws).reshape(-1, L, k0),
+                        B_.from_host(probabilities)
+                        .reshape(-1, k0, L)
+                        .transpose(0, 2, 1),
+                    )
+                )
+            )
             row_idx, slot_idx, j_idx = np.nonzero(hits)
             return (
                 live_pairs[row_idx * k0 + j_idx],
@@ -677,10 +769,8 @@ def run_randomized_batch(
         # layout so that C-order enumeration yields cells in (slot,
         # pair-position) order — within any one row exactly the slot loop's
         # draw order (slots ascending, stations in pattern order).
-        drawable = (
-            (slots[:, None] >= live_wake[None, :])
-            & (slots[:, None] < horizon[rows_of_live][None, :])
-            & (probabilities.T > 0.0)
+        drawable = H.drawable_mask(
+            slots, live_wake, horizon[rows_of_live], probabilities.T
         )
         empty = np.empty(0, dtype=np.int64)
         cell_flat = np.flatnonzero(drawable)
@@ -699,11 +789,11 @@ def run_randomized_batch(
         offset = 0
         for row in np.flatnonzero(draws_per_row):
             count = int(draws_per_row[row])
-            grouped[offset : offset + count] = generators[row].random(count)
+            B_.random_uniform(generators[row], out=grouped[offset : offset + count])
             offset += count
         draws = np.empty_like(grouped)
         draws[order] = grouped
-        hits = draws < probabilities[cell_pos, cell_slot]
+        hits = H.compare_draws(draws, probabilities[cell_pos, cell_slot])
         if not hits.any():
             return empty, empty
         return live_pairs[cell_pos[hits]], chunk_start + cell_slot[hits]
@@ -717,6 +807,7 @@ def run_randomized_batch(
         horizon=horizon,
         chunk=chunk,
         cost_per_pair=True,
+        backend=B_,
     )
 
     # Match the slot-loop engine's accounting exactly: a solved run examines

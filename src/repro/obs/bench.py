@@ -90,6 +90,17 @@ class MetricDelta:
             return self.current > self.baseline * (1.0 + tolerance)
         return self.current < self.baseline * (1.0 - tolerance)
 
+    def as_dict(self) -> dict:
+        """JSON-ready view (``repro bench compare --json``)."""
+        return {
+            "gate": self.gate,
+            "measurement": self.label,
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "current": self.current,
+            "change": self.change,
+        }
+
 
 @dataclass(frozen=True)
 class CompareReport:
@@ -110,6 +121,22 @@ class CompareReport:
     @property
     def ok(self) -> bool:
         return not self.regressions
+
+    def as_dict(self) -> dict:
+        """JSON-ready view of the whole report (``bench compare --json``)."""
+        return {
+            "baseline": self.baseline_label,
+            "current": self.current_label,
+            "tolerance": self.tolerance,
+            "ok": self.ok,
+            "regressions": len(self.regressions),
+            "missing_in_current": list(self.missing_in_current),
+            "missing_in_baseline": list(self.missing_in_baseline),
+            "deltas": [
+                {**delta.as_dict(), "regressed": delta.regressed(self.tolerance)}
+                for delta in self.deltas
+            ],
+        }
 
 
 def load_artifact(source: str, *, cwd: Optional[Path] = None) -> Tuple[str, dict]:

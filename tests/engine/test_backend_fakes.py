@@ -1,0 +1,265 @@
+"""Backend fast paths exercised without the optional packages installed.
+
+The container (and the default CI leg) deliberately has neither numexpr nor
+cupy.  These tests install *fakes* through the :func:`backend._load_module`
+monkeypatch hook — a numexpr whose ``evaluate`` is a plain Python ``eval``
+over NumPy arrays, and a cupy whose "device arrays" are an ``np.ndarray``
+subclass — so the numexpr expression strings, the cupy transfer boundaries,
+and the device membership kernel all run under the dependency-free suite.
+The real packages are covered by the ``backend-numexpr`` CI leg and by any
+environment with the accelerators installed (see
+``tests/properties/test_property_backends.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro._util import spawn_generators
+from repro.baselines import BinaryExponentialBackoff
+from repro.channel.wakeup import WakeupPattern
+from repro.core.local_clock import LocalClockScenarioC
+from repro.core.randomized import RepeatedProbabilityDecrease
+from repro.core.round_robin import RoundRobin
+from repro.core.waking_matrix import HashedTransmissionMatrix, matrix_parameters
+from repro.engine import backend as backend_mod
+from repro.engine import (
+    get_backend,
+    run_deterministic_batch,
+    run_feedback_batch,
+    run_randomized_batch,
+)
+from repro.workloads import WorkloadSuite
+
+N, K, BATCH = 64, 8, 24
+SEED = 7
+
+
+# -- the fakes ---------------------------------------------------------------
+
+
+class _FakeNumexpr:
+    """numexpr's ``evaluate`` surface, computed by Python ``eval`` instead."""
+
+    def evaluate(self, expression, local_dict=None, global_dict=None, out=None):
+        namespace = dict(local_dict or {})
+        result = eval(  # noqa: S307 - test fake over trusted expressions
+            expression, {"where": np.where, "__builtins__": {}}, namespace
+        )
+        if out is not None:
+            out[...] = result
+            return out
+        return result
+
+
+class _FakeDeviceArray(np.ndarray):
+    """Stand-in for a device-resident array (host memory, distinct type)."""
+
+
+class _FakeCupy:
+    """cupy's module surface: asarray/asnumpy plus NumPy-delegated kernels."""
+
+    ndarray = _FakeDeviceArray
+
+    @staticmethod
+    def asarray(array):
+        return np.asarray(array).view(_FakeDeviceArray)
+
+    @staticmethod
+    def asnumpy(array):
+        return np.asarray(array)
+
+    def __getattr__(self, name):
+        return getattr(np, name)
+
+
+@pytest.fixture
+def fake_backends(monkeypatch):
+    """Route ``_load_module`` to the fakes and isolate the singleton cache."""
+    fakes = {"numexpr": _FakeNumexpr(), "cupy": _FakeCupy()}
+    monkeypatch.setattr(backend_mod, "_load_module", lambda name: fakes[name])
+    saved = dict(backend_mod._INSTANCES)
+    backend_mod._INSTANCES.clear()
+    yield fakes
+    backend_mod._INSTANCES.clear()
+    backend_mod._INSTANCES.update(saved)
+
+
+# -- engine equivalence ------------------------------------------------------
+
+
+def _columns(result):
+    return {
+        column: getattr(result, column)
+        for column in ("solved", "success_slot", "winner", "latency", "slots_examined")
+    }
+
+
+def _assert_identical(result, reference, context):
+    for column, values in _columns(reference).items():
+        np.testing.assert_array_equal(
+            getattr(result, column), values, err_msg=f"{context}: {column} diverged"
+        )
+
+
+@pytest.fixture
+def patterns():
+    return WorkloadSuite().generate("staggered", n=N, k=K, batch=BATCH, seed=SEED)
+
+
+@pytest.mark.parametrize("name", ["numexpr", "cupy"])
+class TestEngineEquivalence:
+    def test_deterministic(self, fake_backends, patterns, name):
+        reference = run_deterministic_batch(RoundRobin(N), patterns, backend="numpy")
+        result = run_deterministic_batch(RoundRobin(N), patterns, backend=name)
+        _assert_identical(result, reference, f"deterministic/{name}")
+
+    def test_randomized(self, fake_backends, patterns, name):
+        policy = RepeatedProbabilityDecrease(N, k=K)
+        reference = run_randomized_batch(
+            policy, patterns, rngs=spawn_generators(SEED, BATCH, "campaign"),
+            backend="numpy",
+        )
+        result = run_randomized_batch(
+            policy, patterns, rngs=spawn_generators(SEED, BATCH, "campaign"),
+            backend=name,
+        )
+        _assert_identical(result, reference, f"randomized/{name}")
+
+    def test_feedback(self, fake_backends, patterns, name):
+        policy = BinaryExponentialBackoff(N)
+        reference = run_feedback_batch(
+            policy, patterns, rngs=spawn_generators(SEED, BATCH, "campaign"),
+            backend="numpy",
+        )
+        result = run_feedback_batch(
+            policy, patterns, rngs=spawn_generators(SEED, BATCH, "campaign"),
+            backend=name,
+        )
+        _assert_identical(result, reference, f"feedback/{name}")
+
+    def test_unsolved_sentinels_survive(self, fake_backends, name):
+        # Tight horizons leave rows unsolved; the -1 sentinel columns must
+        # come through the fast paths untouched.
+        tight = [WakeupPattern(N, {30: 0, 40: 0}), WakeupPattern(N, {50: 0, 60: 0})]
+        reference = run_deterministic_batch(
+            RoundRobin(N), tight, max_slots=1, backend="numpy"
+        )
+        assert not reference.solved.any()
+        result = run_deterministic_batch(
+            RoundRobin(N), tight, max_slots=1, backend=name
+        )
+        _assert_identical(result, reference, f"unsolved/{name}")
+
+
+class TestScenarioC:
+    def test_local_clock_batch_under_env_selected_cupy(
+        self, fake_backends, monkeypatch
+    ):
+        # Layer-1 kernels (matrix membership) resolve the backend from the
+        # environment; the whole scenario-C batch must agree with numpy.
+        protocol = LocalClockScenarioC(32, seed=5)
+        patterns = WorkloadSuite().generate("staggered", n=32, k=4, batch=8, seed=1)
+        monkeypatch.delenv(backend_mod.ENV_VAR, raising=False)
+        reference = run_deterministic_batch(protocol, patterns, max_slots=50_000)
+        monkeypatch.setenv(backend_mod.ENV_VAR, "cupy")
+        result = run_deterministic_batch(protocol, patterns, max_slots=50_000)
+        _assert_identical(result, reference, "scenario-c/cupy")
+
+    def test_hashed_membership_kernel_device_matches_host(self, fake_backends):
+        matrix = HashedTransmissionMatrix(matrix_parameters(64), seed=3)
+        rng = np.random.default_rng(0)
+        count = 512
+        stations = rng.integers(1, 65, count)
+        rows = rng.integers(1, matrix.params.rows + 1, count)
+        columns = rng.integers(0, 10 * matrix.params.length, count)
+        host = matrix.membership_kernel(stations, rows, columns, get_backend("numpy"))
+        device_backend = get_backend("cupy")
+        device = device_backend.to_host(
+            matrix.membership_kernel(stations, rows, columns, device_backend)
+        )
+        np.testing.assert_array_equal(np.asarray(device, dtype=bool), host)
+
+
+# -- usage accounting --------------------------------------------------------
+
+
+class TestUsageAccounting:
+    def test_cupy_reports_transfers_and_runs(self, fake_backends, patterns):
+        with obs.capture() as state:
+            run_deterministic_batch(RoundRobin(N), patterns, backend="cupy")
+            snapshot = state.snapshot()
+        assert snapshot["counters"]["backend.cupy.engine_runs"] == 1
+        assert snapshot["gauges"]["backend.cupy.kernel_calls"] > 0
+        assert snapshot["gauges"]["backend.cupy.from_host_bytes"] > 0
+        assert snapshot["gauges"]["backend.cupy.to_host_bytes"] > 0
+
+    def test_numexpr_reports_kernel_calls_without_transfers(
+        self, fake_backends, patterns
+    ):
+        with obs.capture() as state:
+            run_deterministic_batch(RoundRobin(N), patterns, backend="numexpr")
+            snapshot = state.snapshot()
+        assert snapshot["counters"]["backend.numexpr.engine_runs"] == 1
+        assert snapshot["gauges"]["backend.numexpr.kernel_calls"] > 0
+        # CPU backends never cross a transfer boundary.
+        assert "backend.numexpr.from_host_bytes" not in snapshot["gauges"]
+
+    def test_numpy_runs_counted_even_with_obs_disabled_tallies(self, fake_backends):
+        backend = get_backend("numpy")
+        before = backend.kernel_calls
+        patterns = [WakeupPattern(N, {3: 0, 9: 2})]
+        run_deterministic_batch(RoundRobin(N), patterns, backend=backend)
+        assert backend.kernel_calls > before
+
+
+# -- fused expression units --------------------------------------------------
+
+
+class TestFakeNumexprKernels:
+    def test_all_fused_expressions_match_reference(self, fake_backends):
+        numexpr = get_backend("numexpr")
+        reference = get_backend("numpy")
+        rng = np.random.default_rng(2)
+        m = 500
+        done = rng.random(m) < 0.5
+        wake = rng.integers(0, 50, m)
+        horizon = wake + rng.integers(1, 100, m)
+        np.testing.assert_array_equal(
+            numexpr.live_mask(done, wake, horizon, 5, 40),
+            reference.live_mask(done, wake, horizon, 5, 40),
+        )
+        alive = rng.random(m) < 0.5
+        np.testing.assert_array_equal(
+            numexpr.awake_mask(alive, wake, 25), reference.awake_mask(alive, wake, 25)
+        )
+        counts = rng.integers(0, 3, m)
+        np.testing.assert_array_equal(
+            numexpr.singles_mask(counts), reference.singles_mask(counts)
+        )
+        draws, probs = rng.random(m), rng.random(m)
+        np.testing.assert_array_equal(
+            numexpr.compare_draws(draws, probs), reference.compare_draws(draws, probs)
+        )
+        pos, slot = rng.integers(0, 8, m), rng.integers(10, 20, m)
+        np.testing.assert_array_equal(
+            numexpr.scan_keys(pos, slot, 10, 10), reference.scan_keys(pos, slot, 10, 10)
+        )
+        slots = np.arange(20)
+        wakes = rng.integers(0, 15, 6)
+        horizons = wakes + rng.integers(1, 10, 6)
+        pt = rng.random((20, 6))
+        np.testing.assert_array_equal(
+            numexpr.drawable_mask(slots, wakes, horizons, pt),
+            reference.drawable_mask(slots, wakes, horizons, pt),
+        )
+        tx = rng.integers(0, 4, m)
+        np.testing.assert_array_equal(
+            numexpr.outcome_codes(tx), reference.outcome_codes(tx)
+        )
+        matrix_a = rng.random((6, 20))
+        matrix_b = matrix_a.copy()
+        np.testing.assert_array_equal(
+            numexpr.zero_before_wake(matrix_a, slots, wakes),
+            reference.zero_before_wake(matrix_b, slots, wakes),
+        )

@@ -1,0 +1,166 @@
+"""Backend selection: names, environment, auto fallback, and inheritance.
+
+The selection contract (``repro.engine.backend.get_backend``):
+
+* ``None`` follows ``REPRO_BACKEND``; unset or blank means numpy;
+* an :class:`ArrayBackend` instance passes through untouched;
+* an unknown name raises :class:`ValueError` listing every valid name;
+* an *explicitly requested* but uninstalled backend raises
+  :class:`BackendUnavailableError` — never a silent fallback;
+* ``auto`` probes cupy → numexpr and falls back to numpy with exactly one
+  :class:`RuntimeWarning` per process;
+* sweep worker processes inherit the selection through the environment.
+"""
+
+import os
+import warnings
+
+import pytest
+
+from repro.engine import backend as backend_mod
+from repro.engine.backend import (
+    BACKEND_NAMES,
+    ENV_VAR,
+    ArrayBackend,
+    BackendUnavailableError,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+)
+from repro.engine.campaign import Campaign
+from repro.sweeps.runner import SweepRunner, map_jobs
+
+
+@pytest.fixture
+def clean_env(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+
+
+class TestDefaultResolution:
+    def test_default_is_numpy(self, clean_env):
+        backend = get_backend(None)
+        assert backend.name == "numpy"
+        assert isinstance(backend, NumpyBackend)
+
+    def test_numpy_is_a_singleton(self, clean_env):
+        assert get_backend("numpy") is get_backend(None)
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_instance_passes_through(self):
+        backend = NumpyBackend()
+        assert get_backend(backend) is backend
+
+    def test_blank_env_means_numpy(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "   ")
+        assert get_backend(None).name == "numpy"
+
+    def test_env_selects_by_name(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        assert get_backend(None).name == "numpy"
+
+    def test_names_are_case_insensitive(self, clean_env):
+        assert get_backend("NumPy").name == "numpy"
+
+    def test_available_backends_always_has_numpy(self):
+        names = available_backends()
+        assert "numpy" in names
+        assert set(names) <= set(BACKEND_NAMES)
+
+
+class TestErrorReporting:
+    def test_unknown_name_lists_valid_names(self, clean_env):
+        with pytest.raises(ValueError, match="unknown array backend 'bogus'") as exc:
+            get_backend("bogus")
+        for name in BACKEND_NAMES + ("auto",):
+            assert name in str(exc.value)
+
+    def test_unknown_env_value_raises_too(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "bogus")
+        with pytest.raises(ValueError, match="unknown array backend"):
+            get_backend(None)
+
+    def test_explicit_cupy_without_cupy_is_a_clear_error(self, clean_env):
+        if "cupy" in available_backends():
+            pytest.skip("cupy is installed here; the error path cannot fire")
+        with pytest.raises(BackendUnavailableError, match="'cupy'") as exc:
+            get_backend("cupy")
+        message = str(exc.value)
+        assert "not installed" in message
+        assert ENV_VAR in message
+        # BackendUnavailableError is a ValueError so every call site that
+        # already maps ValueError to a usage error (the CLI) handles it.
+        assert isinstance(exc.value, ValueError)
+
+    def test_env_cupy_without_cupy_fails_at_engine_entry(self, monkeypatch):
+        if "cupy" in available_backends():
+            pytest.skip("cupy is installed here; the error path cannot fire")
+        monkeypatch.setenv(ENV_VAR, "cupy")
+        with pytest.raises(BackendUnavailableError, match="not installed"):
+            get_backend(None)
+
+    def test_failed_construction_is_not_cached(self, clean_env):
+        if "numexpr" in available_backends():
+            pytest.skip("numexpr is installed here; the error path cannot fire")
+        for _ in range(2):  # the second call must re-raise, not hit a cache
+            with pytest.raises(BackendUnavailableError):
+                get_backend("numexpr")
+        assert "numexpr" not in backend_mod._INSTANCES
+
+
+class TestAutoFallback:
+    @pytest.fixture
+    def reset_warned(self):
+        before = backend_mod._AUTO_WARNED
+        backend_mod._AUTO_WARNED = False
+        yield
+        backend_mod._AUTO_WARNED = before
+
+    def test_auto_warns_once_then_stays_silent(self, clean_env, reset_warned):
+        if available_backends() != ["numpy"]:
+            pytest.skip("an accelerated backend is installed; auto will not warn")
+        with pytest.warns(RuntimeWarning, match="falling back to the numpy"):
+            assert get_backend("auto").name == "numpy"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert get_backend("auto").name == "numpy"
+
+    def test_env_auto_resolves(self, monkeypatch, reset_warned):
+        monkeypatch.setenv(ENV_VAR, "auto")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            backend = get_backend(None)
+        assert isinstance(backend, ArrayBackend)
+        assert backend.name in BACKEND_NAMES
+
+
+def _worker_backend_name(_job):
+    """Module-level (picklable) probe run inside sweep worker processes."""
+    from repro.engine.backend import get_backend
+
+    return get_backend(None).name
+
+
+class TestInheritance:
+    def test_sweep_workers_inherit_env_selection(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        names = map_jobs(_worker_backend_name, [1, 2, 3], workers=2)
+        assert names == ["numpy", "numpy", "numpy"]
+        # The env var really is set in this process, so child processes
+        # spawned by the pool saw it too (os.environ is inherited).
+        assert os.environ[ENV_VAR] == "numpy"
+
+    def test_sweep_runner_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown array backend"):
+            SweepRunner(backend="bogus")
+
+    def test_campaign_rejects_unknown_backend(self):
+        from repro.core.round_robin import RoundRobin
+
+        with pytest.raises(ValueError, match="unknown array backend"):
+            Campaign(RoundRobin(8), backend="bogus")
+
+    def test_campaign_accepts_backend_name(self):
+        from repro.core.round_robin import RoundRobin
+
+        campaign = Campaign(RoundRobin(8), backend="numpy")
+        assert campaign.backend == "numpy"

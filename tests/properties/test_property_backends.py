@@ -1,0 +1,203 @@
+"""Property-based bit-for-bit equivalence across *installed* array backends.
+
+Every backend's contract (:mod:`repro.engine.backend`) is outcome equality
+with the NumPy reference — not approximate, bit for bit, on every outcome
+column including ``slots_examined``.  This suite pins that down with
+hypothesis-generated batches against each non-numpy backend actually
+importable in the environment.  In the dependency-free container that is
+*no* backend and the whole module skips cleanly; the ``backend-numexpr`` CI
+leg (and any machine with cupy) runs it for real.  The fakes-based
+equivalence tests in ``tests/engine/test_backend_fakes.py`` keep the same
+code paths covered when nothing optional is installed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro._util import spawn_generators
+from repro.baselines import BinaryExponentialBackoff
+from repro.channel.wakeup import WakeupPattern
+from repro.core.randomized import DecayPolicy, RepeatedProbabilityDecrease
+from repro.core.round_robin import RoundRobin
+from repro.core.scenario_c import WakeupProtocol
+from repro.engine import (
+    available_backends,
+    get_backend,
+    run_deterministic_batch,
+    run_feedback_batch,
+    run_randomized_batch,
+)
+
+N = 16
+
+FAST_BACKENDS = [name for name in available_backends() if name != "numpy"]
+if not FAST_BACKENDS:
+    pytest.skip(
+        "no accelerated backend installed; equivalence is covered by the "
+        "fake-backend suite",
+        allow_module_level=True,
+    )
+
+wake_dicts = st.dictionaries(
+    keys=st.integers(min_value=1, max_value=N),
+    values=st.integers(min_value=0, max_value=40),
+    min_size=1,
+    max_size=6,
+)
+
+batches = st.lists(wake_dicts, min_size=1, max_size=8)
+
+COLUMNS = ("solved", "success_slot", "winner", "latency", "slots_examined")
+
+
+def _patterns(batch):
+    return [WakeupPattern(N, wake_times) for wake_times in batch]
+
+
+def _assert_identical(result, reference, context):
+    for column in COLUMNS:
+        np.testing.assert_array_equal(
+            getattr(result, column),
+            getattr(reference, column),
+            err_msg=f"{context}: column {column!r} diverged from numpy",
+        )
+
+
+@pytest.mark.parametrize("backend_name", FAST_BACKENDS)
+class TestDeterministicEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(batch=batches, max_slots=st.integers(min_value=1, max_value=200))
+    def test_round_robin(self, backend_name, batch, max_slots):
+        patterns = _patterns(batch)
+        reference = run_deterministic_batch(
+            RoundRobin(N), patterns, max_slots=max_slots, backend="numpy"
+        )
+        result = run_deterministic_batch(
+            RoundRobin(N), patterns, max_slots=max_slots, backend=backend_name
+        )
+        _assert_identical(result, reference, f"round-robin/{backend_name}")
+
+    @settings(max_examples=10, deadline=None)
+    @given(batch=batches)
+    def test_scenario_c(self, backend_name, batch):
+        patterns = _patterns(batch)
+        protocol = WakeupProtocol(N, seed=11)
+        reference = run_deterministic_batch(
+            protocol, patterns, max_slots=5_000, backend="numpy"
+        )
+        result = run_deterministic_batch(
+            protocol, patterns, max_slots=5_000, backend=backend_name
+        )
+        _assert_identical(result, reference, f"scenario-c/{backend_name}")
+
+
+@pytest.mark.parametrize("backend_name", FAST_BACKENDS)
+class TestRandomizedEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(batch=batches, seed=st.integers(min_value=0, max_value=2**31))
+    def test_rpd(self, backend_name, batch, seed):
+        patterns = _patterns(batch)
+        policy = RepeatedProbabilityDecrease(N, k=N)
+        reference = run_randomized_batch(
+            policy,
+            patterns,
+            rngs=spawn_generators(seed, len(patterns), "campaign"),
+            max_slots=400,
+            backend="numpy",
+        )
+        result = run_randomized_batch(
+            policy,
+            patterns,
+            rngs=spawn_generators(seed, len(patterns), "campaign"),
+            max_slots=400,
+            backend=backend_name,
+        )
+        _assert_identical(result, reference, f"rpd/{backend_name}")
+
+    @settings(max_examples=10, deadline=None)
+    @given(batch=batches, seed=st.integers(min_value=0, max_value=2**31))
+    def test_decay(self, backend_name, batch, seed):
+        patterns = _patterns(batch)
+        policy = DecayPolicy(N)
+        reference = run_randomized_batch(
+            policy,
+            patterns,
+            rngs=spawn_generators(seed, len(patterns), "campaign"),
+            max_slots=400,
+            backend="numpy",
+        )
+        result = run_randomized_batch(
+            policy,
+            patterns,
+            rngs=spawn_generators(seed, len(patterns), "campaign"),
+            max_slots=400,
+            backend=backend_name,
+        )
+        _assert_identical(result, reference, f"decay/{backend_name}")
+
+
+@pytest.mark.parametrize("backend_name", FAST_BACKENDS)
+class TestFeedbackEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(batch=batches, seed=st.integers(min_value=0, max_value=2**31))
+    def test_beb(self, backend_name, batch, seed):
+        patterns = _patterns(batch)
+        policy = BinaryExponentialBackoff(N)
+        reference = run_feedback_batch(
+            policy,
+            patterns,
+            rngs=spawn_generators(seed, len(patterns), "campaign"),
+            max_slots=400,
+            backend="numpy",
+        )
+        result = run_feedback_batch(
+            policy,
+            patterns,
+            rngs=spawn_generators(seed, len(patterns), "campaign"),
+            max_slots=400,
+            backend=backend_name,
+        )
+        _assert_identical(result, reference, f"beb/{backend_name}")
+
+
+@pytest.mark.parametrize("backend_name", FAST_BACKENDS)
+class TestFusedKernelUnits:
+    """The fused expressions agree with the reference on random inputs."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_masks_match(self, backend_name, seed):
+        fast = get_backend(backend_name)
+        reference = get_backend("numpy")
+        rng = np.random.default_rng(seed)
+        m = 257
+        done = rng.random(m) < 0.5
+        wake = rng.integers(0, 50, m)
+        horizon = wake + rng.integers(1, 100, m)
+        np.testing.assert_array_equal(
+            np.asarray(fast.to_host(fast.live_mask(done, wake, horizon, 5, 40))),
+            reference.live_mask(done, wake, horizon, 5, 40),
+        )
+        counts = rng.integers(0, 3, m)
+        np.testing.assert_array_equal(
+            np.asarray(
+                fast.to_host(fast.singles_mask(fast.from_host(counts)))
+            ),
+            reference.singles_mask(counts),
+        )
+        draws, probs = rng.random(m), rng.random(m)
+        np.testing.assert_array_equal(
+            np.asarray(
+                fast.to_host(
+                    fast.compare_draws(fast.from_host(draws), fast.from_host(probs))
+                )
+            ),
+            reference.compare_draws(draws, probs),
+        )
+        tx = rng.integers(0, 4, m)
+        np.testing.assert_array_equal(
+            np.asarray(fast.host.outcome_codes(tx)), reference.outcome_codes(tx)
+        )

@@ -149,6 +149,29 @@ class TestWorkloadsCommand:
         assert exit_code == 1
         assert "NOT SOLVED" in out
 
+    def test_run_with_explicit_numpy_backend(self, capsys):
+        exit_code = main(
+            [
+                "workloads", "run", "--workload", "uniform", "--protocol", "round-robin",
+                "--n", "32", "--k", "4", "--batch", "8", "--backend", "numpy",
+            ]
+        )
+        assert exit_code == 0
+        assert "max_latency" in capsys.readouterr().out
+
+    def test_run_unknown_backend_is_usage_error(self, capsys):
+        exit_code = main(
+            [
+                "workloads", "run", "--workload", "uniform", "--protocol", "round-robin",
+                "--n", "32", "--k", "4", "--batch", "8", "--backend", "bogus",
+            ]
+        )
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "unknown array backend" in err
+        for name in ("numpy", "numexpr", "cupy"):
+            assert name in err
+
 
 class TestSweepCommand:
     INLINE = [
@@ -161,6 +184,15 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         assert "round-robin" in out and "scenario-b" in out
         assert "2 configs (0 reused from store)" in out
+
+    def test_run_with_explicit_numpy_backend(self, capsys):
+        assert main(["sweep", "run", *self.INLINE, "--backend", "numpy"]) == 0
+        capsys.readouterr()
+
+    def test_run_unknown_backend_is_usage_error(self, capsys):
+        assert main(["sweep", "run", *self.INLINE, "--backend", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown array backend" in err and "numexpr" in err
 
     def test_run_with_store_then_resume(self, capsys, tmp_path):
         store = str(tmp_path / "store")
@@ -352,6 +384,30 @@ class TestBenchCommand:
         path.write_text(json.dumps(_bench_artifact()))
         assert main(["bench", "compare", str(path)]) == 2
         assert "at least two artifacts" in capsys.readouterr().err
+
+    def test_json_flag_emits_parseable_report(self, capsys, tmp_path):
+        path = tmp_path / "a.json"
+        path.write_text(json.dumps(_bench_artifact()))
+        assert main(["bench", "compare", "--json", str(path), str(path)]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert isinstance(reports, list) and len(reports) == 1
+        report = reports[0]
+        assert report["ok"] is True
+        assert report["regressions"] == 0
+        assert report["deltas"][0]["metric"] == "speedup"
+        assert report["deltas"][0]["regressed"] is False
+
+    def test_json_flag_keeps_regression_exit_code(self, capsys, tmp_path):
+        base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+        base.write_text(json.dumps(_bench_artifact()))
+        worse = copy.deepcopy(_bench_artifact())
+        worse["gates"]["deterministic_batch"]["measurements"][0]["speedup"] = 56.0
+        cur.write_text(json.dumps(worse))
+        assert main(["bench", "compare", "--json", str(base), str(cur)]) == 1
+        report = json.loads(capsys.readouterr().out)[0]
+        assert report["ok"] is False
+        assert report["regressions"] == 1
+        assert report["deltas"][0]["regressed"] is True
 
 
 class TestObsCommand:

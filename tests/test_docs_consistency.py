@@ -54,8 +54,15 @@ class TestReadme:
             "bench_wakeup_throughput.py",
             "bench_sweep_throughput.py",
             "bench_obs_overhead.py",
+            "bench_backend_throughput.py",
         ):
             assert bench in readme_text, f"README.md speedup table misses {bench}"
+
+    def test_every_backend_name_is_documented(self, readme_text):
+        from repro.engine.backend import BACKEND_NAMES, ENV_VAR
+
+        for name in (*BACKEND_NAMES, ENV_VAR):
+            assert name in readme_text, f"README.md does not mention {name!r}"
 
     def test_documented_modules_exist(self, readme_text):
         # Every `src/repro/...` path the module map names must exist on disk.
@@ -94,6 +101,13 @@ class TestDocsDirectory:
             assert name in text, (
                 f"docs/architecture.md does not document repro.engine.{name}"
             )
+
+    def test_architecture_doc_covers_every_backend(self):
+        from repro.engine.backend import BACKEND_NAMES, ENV_VAR
+
+        text = (DOCS / "architecture.md").read_text()
+        for name in (*BACKEND_NAMES, ENV_VAR, "BackendUnavailableError"):
+            assert name in text, f"docs/architecture.md does not mention {name!r}"
 
 
 class TestCliDocstring:
