@@ -1,0 +1,84 @@
+"""The paper campaign's resumable store: warm reruns must be ~free.
+
+The whole point of backing ``repro paper`` with a shared
+:class:`~repro.sweeps.store.SweepStore` is that a rerun over a complete store
+resolves every measurement spec from disk instead of the engine.  This gate
+runs an engine-heavy campaign subset (E1, E3, E11 — experiments whose cost is
+spec resolution, not render-side work) cold and then warm against the same
+store, and asserts
+
+* **speedup** — the warm rerun is ≥ 10x faster than the cold run;
+* **zero recomputation** — the warm manifest reports a 100% store hit rate;
+* **bit-for-bit equality** — warm rows are identical to the cold rows.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_paper_campaign.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.campaign import PaperCampaign
+from repro.experiments.config import QUICK
+from repro.sweeps import SweepStore
+
+#: Experiments whose wall-clock is dominated by spec resolution; the
+#: render-heavy ones (E4's adaptive adversary, E7/E8's constructions) pay the
+#: same cost cold and warm and would only dilute the measured ratio.
+EXPERIMENTS = ("E1", "E3", "E11")
+
+
+def _run(store: SweepStore):
+    return PaperCampaign(
+        scale=QUICK, store=store, workers=0, experiments=EXPERIMENTS
+    ).run()
+
+
+def test_paper_campaign_warm_rerun_is_at_least_10x(record_gate, tmp_path):
+    """Regression gate: a complete store makes the campaign >= 10x faster."""
+    store = SweepStore(tmp_path / "paper-store")
+
+    t0 = time.perf_counter()
+    cold = _run(store)
+    cold_time = time.perf_counter() - t0
+    assert cold.manifest["store_hits"] == 0
+
+    warm_times = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        warm = _run(store)
+        warm_times.append(time.perf_counter() - t0)
+    warm_time = min(warm_times)
+
+    assert warm.manifest["store_hit_rate"] == 1.0
+    assert warm.manifest["store_misses"] == 0
+    for experiment_id, result in warm.results.items():
+        assert result.rows == cold.results[experiment_id].rows
+
+    specs = cold.manifest["specs_unique"]
+    speedup = cold_time / warm_time
+    print(
+        f"paper campaign ({'+'.join(EXPERIMENTS)}, {specs} unique specs): "
+        f"cold {cold_time:.2f}s, warm {warm_time:.2f}s, speedup {speedup:.1f}x"
+    )
+    # Record before asserting so a regression still lands in the trajectory.
+    record_gate(
+        "paper_campaign",
+        threshold=10.0,
+        unit="x",
+        measurements=[
+            {
+                "subset": "+".join(EXPERIMENTS),
+                "unique_specs": specs,
+                "speedup": round(speedup, 1),
+                "cold_seconds": round(cold_time, 3),
+                "warm_seconds": round(warm_time, 3),
+            }
+        ],
+    )
+    assert speedup >= 10.0, (
+        f"warm campaign rerun only {speedup:.1f}x over cold "
+        f"(cold {cold_time:.2f}s, warm {warm_time:.2f}s for {specs} specs)"
+    )

@@ -1,6 +1,6 @@
 """Command-line interface for the repro library.
 
-Eight subcommands cover the workflows a user needs without writing Python:
+Nine subcommands cover the workflows a user needs without writing Python:
 
 ``simulate``
     Build one protocol, one wake-up pattern, run the simulation and print the
@@ -14,6 +14,17 @@ Eight subcommands cover the workflows a user needs without writing Python:
     Run one experiment from the E1–E11 registry (see
     :data:`repro.experiments.registry.EXPERIMENTS`) at a chosen scale and
     print its summary (tables, figures and certificates).
+
+``paper``
+    One-command paper campaign (:mod:`repro.experiments.campaign`): ``run``
+    plans all of E1–E11, deduplicates the measurement specs across
+    experiments, resolves them process-parallel against one resumable
+    :class:`~repro.sweeps.store.SweepStore` and prints the campaign manifest
+    (spec counts, store hit-rate, per-experiment timings); ``status`` shows
+    how much of the campaign the store already covers; ``report`` renders
+    the full figure/table set of every experiment from the (warm) store.
+    An interrupted ``run`` resumes where it stopped — a second ``run`` over
+    a complete store recomputes nothing.
 
 ``verify-matrix``
     Search for / verify a waking-matrix seed for a given ``n`` (the
@@ -60,6 +71,9 @@ Examples
     python -m repro simulate --protocol scenario-b --n 128 --k 8 --pattern staggered
     python -m repro bounds --n 1024
     python -m repro experiment E3 --scale quick
+    python -m repro paper run --scale quick --store paper-store --workers 4
+    python -m repro paper status --scale quick --store paper-store
+    python -m repro paper report --scale quick --store paper-store --output PAPER_REPORT.md
     python -m repro verify-matrix --n 64 --attempts 4
     python -m repro workloads list
     python -m repro workloads sample --workload heavy-tailed --n 64 --k 8
@@ -93,6 +107,11 @@ from repro.channel.protocols import DeterministicProtocol
 from repro.core.lower_bounds import bound_table
 from repro.engine import Campaign
 from repro.core.matrix_search import find_waking_matrix_seed
+from repro.experiments.campaign import (
+    MANIFEST_NAME,
+    PaperCampaign,
+    render_campaign_report,
+)
 from repro.experiments.config import FULL, QUICK, STANDARD
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.reporting.figures import render_trace
@@ -131,6 +150,7 @@ subcommands:
   simulate       run one protocol against one wake-up pattern
   bounds         print the paper's bound formulas over a k sweep
   experiment     run one experiment from the E1-E11 registry
+  paper          run/resume the whole E1-E11 campaign against a shared store
   verify-matrix  find a verified waking-matrix seed
   workloads      list/sample the workload suite or run a batch
   sweep          run, resume or inspect a config-grid sweep (supports --trace)
@@ -170,6 +190,54 @@ def build_parser() -> argparse.ArgumentParser:
     exp = subparsers.add_parser("experiment", help="run one experiment from the registry")
     exp.add_argument("experiment_id", choices=sorted(EXPERIMENTS), metavar="EXPERIMENT")
     exp.add_argument("--scale", choices=sorted(_SCALES), default="quick")
+
+    paper = subparsers.add_parser(
+        "paper",
+        help="run, inspect or report the whole E1-E11 paper campaign",
+        description="Plan all of E1-E11 as content-hashable measurement specs, "
+        "deduplicate them across experiments, resolve the pending ones "
+        "process-parallel and memoize every outcome in one resumable result "
+        "store. `run` prints the campaign manifest, `status` shows store "
+        "coverage without running anything, `report` renders the full "
+        "figure/table set (cheap once the store is warm). Examples: `repro "
+        "paper run --scale quick --store paper-store --workers 4`; `repro "
+        "paper report --scale quick --store paper-store --output REPORT.md`.",
+    )
+    paper.add_argument("action", choices=("run", "status", "report"))
+    paper.add_argument("--scale", choices=sorted(_SCALES), default="quick")
+    paper.add_argument(
+        "--store", default="paper-store",
+        help="result-store directory shared by every experiment (default "
+        "paper-store); pass an empty string for an ephemeral in-memory run",
+    )
+    paper.add_argument(
+        "--experiments", nargs="+", default=None, metavar="EXPERIMENT",
+        help="subset of experiment IDs (default: all of E1-E11)",
+    )
+    paper.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for spec resolution (default: the scale's "
+        "worker count; results are identical for any value)",
+    )
+    paper.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the rendered report to PATH instead of stdout (report action)",
+    )
+    paper.add_argument(
+        "--export", default=None, metavar="PATH",
+        help="write every experiment's raw rows to PATH (.csv or .json)",
+    )
+    paper.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a JSONL observability trace of the campaign to PATH "
+        "(plus PATH.manifest.json); see `repro obs report`",
+    )
+    paper.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="array backend forwarded to every resolution worker: numpy, "
+        "numexpr, cupy or auto (default: the REPRO_BACKEND environment "
+        "variable, else numpy); results are backend-independent",
+    )
 
     verify = subparsers.add_parser("verify-matrix", help="find a verified waking-matrix seed")
     verify.add_argument("--n", type=int, default=64)
@@ -356,6 +424,79 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     result = run_experiment(args.experiment_id, _SCALES[args.scale])
     print(result.summary())
+    return 0 if result.all_certificates_hold else 1
+
+
+def _cmd_paper(args: argparse.Namespace) -> int:
+    """``repro paper``: the one-command E1–E11 campaign over a shared store."""
+    store = SweepStore(args.store) if args.store else None
+    campaign = PaperCampaign(
+        scale=_SCALES[args.scale],
+        store=store,
+        workers=args.workers,
+        backend=args.backend,
+        experiments=args.experiments,
+    )
+    try:
+        if args.action == "status":
+            status = campaign.status()
+            table = TextTable(["experiment", "specs", "unique", "stored"])
+            for experiment_id, entry in status["experiments"].items():
+                table.add_row(
+                    [experiment_id, entry["specs"], entry["unique"], entry["stored"]]
+                )
+            print(table.render())
+            where = f"store {store.root}" if store is not None else "no store"
+            print(
+                f"scale {status['scale']}: {status['stored']}/{status['specs_unique']} "
+                f"unique specs stored ({status['specs_total']} planned, {where})"
+            )
+            return 0
+        with _tracing(args.trace, argv=getattr(args, "raw_argv", None)):
+            result = campaign.run(progress=print)
+    except (KeyError, TypeError, ValueError) as exc:
+        # Unknown experiment IDs, protocol/workload names and invalid worker
+        # counts are usage errors, not crashes.
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    manifest = result.manifest
+    if args.action == "report":
+        report = render_campaign_report(result)
+        if args.output:
+            from pathlib import Path
+
+            Path(args.output).write_text(report, encoding="utf-8")
+            print(f"wrote {args.output}")
+        else:
+            print(report)
+    else:
+        table = TextTable(["experiment", "specs", "unique", "render s", "certificates"])
+        for experiment_id, entry in manifest["experiments"].items():
+            table.add_row(
+                [
+                    experiment_id,
+                    entry["specs"],
+                    entry["unique"],
+                    round(entry["render_seconds"], 2),
+                    "ok" if entry["certificates_hold"] else "FAILED",
+                ]
+            )
+        print(table.render())
+        print(
+            f"{manifest['specs_unique']} unique specs ({manifest['specs_total']} planned, "
+            f"{manifest['cross_experiment_duplicates']} cross-experiment duplicates); "
+            f"store hits {manifest['store_hits']}, misses {manifest['store_misses']} "
+            f"(hit rate {manifest['store_hit_rate']:.0%}); "
+            f"resolve {manifest['resolve_seconds']:.2f}s, total {manifest['total_seconds']:.2f}s"
+        )
+        if store is not None:
+            print(f"store: {store.root} (manifest: {store.root / MANIFEST_NAME})")
+    if args.export:
+        from repro.reporting.export import write_rows
+
+        rows = [row for res in result.results.values() for row in res.rows]
+        print(f"wrote {write_rows(rows, args.export)}")
     return 0 if result.all_certificates_hold else 1
 
 
@@ -613,6 +754,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "bounds": _cmd_bounds,
         "experiment": _cmd_experiment,
+        "paper": _cmd_paper,
         "verify-matrix": _cmd_verify_matrix,
         "workloads": _cmd_workloads,
         "sweep": _cmd_sweep,

@@ -1,12 +1,19 @@
-"""Experiment orchestration: configurations, runners, and the E1–E10 registry.
+"""Experiment orchestration: configurations, the E1–E11 registry, and the campaign.
 
 The experiment index in ``DESIGN.md`` maps every claim of the paper to an
 experiment; this package contains the code that runs them.  Each experiment is
-a function taking an :class:`~repro.experiments.config.ExperimentScale` and
-returning an :class:`~repro.experiments.runner.ExperimentResult` with raw rows,
-rendered tables/figures, and bound certificates.  The ``benchmarks/`` tree and
-``EXPERIMENTS.md`` are both generated from this registry so that the numbers
-in the documentation are always reproducible by re-running the benchmarks.
+an :class:`~repro.experiments.campaign.ExperimentDefinition` — a ``plan``
+function stating its measurement demand as content-hashable specs, plus a pure
+``render`` over the resolved records — and the historical per-experiment
+callables wrap the definitions, taking an
+:class:`~repro.experiments.config.ExperimentScale` and returning an
+:class:`~repro.experiments.runner.ExperimentResult` with raw rows, rendered
+tables/figures, and bound certificates.
+:class:`~repro.experiments.campaign.PaperCampaign` runs all of E1–E11 against
+one shared, resumable :class:`~repro.sweeps.store.SweepStore` (``repro paper``
+on the command line).  The ``benchmarks/`` tree and ``EXPERIMENTS.md`` are
+both generated from this registry so that the numbers in the documentation are
+always reproducible by re-running the benchmarks.
 """
 
 from repro.experiments.config import ExperimentScale, QUICK, STANDARD, FULL
@@ -17,7 +24,18 @@ from repro.experiments.runner import (
     worst_latency,
     mean_latency,
 )
+from repro.experiments.campaign import (
+    CampaignResult,
+    ExperimentDefinition,
+    MeasurementSpec,
+    PaperCampaign,
+    ResolvedSpecs,
+    dedup_specs,
+    render_campaign_report,
+    resolve_specs,
+)
 from repro.experiments.registry import (
+    DEFINITIONS,
     EXPERIMENTS,
     run_experiment,
     experiment_e1_scenario_a,
@@ -45,6 +63,15 @@ __all__ = [
     "measure_latency",
     "worst_latency",
     "mean_latency",
+    "CampaignResult",
+    "ExperimentDefinition",
+    "MeasurementSpec",
+    "PaperCampaign",
+    "ResolvedSpecs",
+    "dedup_specs",
+    "render_campaign_report",
+    "resolve_specs",
+    "DEFINITIONS",
     "EXPERIMENTS",
     "run_experiment",
     "experiment_e1_scenario_a",

@@ -37,7 +37,7 @@ from repro.sweeps.protocols import PROTOCOL_BUILDERS, build_protocol, protocol_n
 from repro.sweeps.runner import SweepResult, SweepRunner, SweepStatus, map_jobs, resolve_config
 from repro.sweeps.search import WorstCaseRecord, worst_case_grid
 from repro.sweeps.spec import SweepConfig, SweepSpec
-from repro.sweeps.store import ConfigRecord, SweepStore
+from repro.sweeps.store import ConfigRecord, StoreSchemaError, SweepStore, load_record
 
 __all__ = [
     "PROTOCOL_BUILDERS",
@@ -46,6 +46,8 @@ __all__ = [
     "SweepConfig",
     "SweepSpec",
     "SweepStore",
+    "StoreSchemaError",
+    "load_record",
     "ConfigRecord",
     "SweepRunner",
     "SweepResult",

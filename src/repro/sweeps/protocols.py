@@ -42,7 +42,7 @@ def protocol_names() -> list:
     return sorted(PROTOCOL_BUILDERS)
 
 
-def build_protocol(name: str, n: int, k: int = 1, *, seed: int = 0, cache=None):
+def build_protocol(name: str, n: int, k: int = 1, *, seed: int = 0, cache=None, **params):
     """Build one protocol from its registry name and ``(n, k, seed)``.
 
     Parameters
@@ -60,6 +60,12 @@ def build_protocol(name: str, n: int, k: int = 1, *, seed: int = 0, cache=None):
     cache:
         :class:`~repro.experiments.cache.FamilyCache` serving selective
         families (default: the process-wide shared cache).
+    params:
+        Extra construction parameters forwarded to the builder (e.g.
+        ``window``/``c`` for ``scenario-c``).  A builder that does not accept
+        a given parameter raises ``TypeError`` — overrides never pass
+        silently.  This is how :attr:`SweepConfig.protocol_params
+        <repro.sweeps.spec.SweepConfig>` reaches the construction.
     """
     try:
         builder = PROTOCOL_BUILDERS[name]
@@ -71,7 +77,7 @@ def build_protocol(name: str, n: int, k: int = 1, *, seed: int = 0, cache=None):
         from repro.experiments.cache import shared_cache
 
         cache = shared_cache
-    return builder(n, k, seed, cache)
+    return builder(n, k, seed, cache, **params)
 
 
 def _build_round_robin(n, k, seed, cache):
@@ -98,10 +104,12 @@ def _build_scenario_b(n, k, seed, cache):
     return WakeupWithK(n, k, families=cache.concatenation(n, k, seed=seed))
 
 
-def _build_scenario_c(n, k, seed, cache):
+def _build_scenario_c(n, k, seed, cache, c=2, window=0):
     from repro.core.scenario_c import WakeupProtocol
 
-    return WakeupProtocol(n, seed=seed)
+    # window=0 means "the paper's default" (derived from n); the explicit
+    # values are what the E10 window-length ablation sweeps.
+    return WakeupProtocol(n, c=c, window=window or None, seed=seed)
 
 
 def _build_komlos_greenberg(n, k, seed, cache):
@@ -155,6 +163,26 @@ def _build_tree_splitting(n, k, seed, cache):
     return TreeSplitting(n)
 
 
+def _build_wait_and_go(n, k, seed, cache):
+    from repro.core.scenario_b import WaitAndGo
+
+    return WaitAndGo(n, k, families=cache.concatenation(n, k, seed=seed))
+
+
+def _build_select_first(n, k, seed, cache):
+    from repro.core.scenario_a import SelectAmongTheFirst
+
+    # The non-interleaved Scenario A arm (the E10 interleaving ablation);
+    # like scenario-a it selects among the first s=0 and ignores k.
+    return SelectAmongTheFirst(n, 0, cache.concatenation(n, n, seed=seed))
+
+
+def _build_decay(n, k, seed, cache):
+    from repro.core.randomized import DecayPolicy
+
+    return DecayPolicy(n)
+
+
 register_protocol("round-robin", _build_round_robin)
 register_protocol("tdma", _build_tdma)
 register_protocol("scenario-a", _build_scenario_a)
@@ -168,3 +196,6 @@ register_protocol("rpd-known-k", _build_rpd_known_k)
 register_protocol("aloha", _build_aloha)
 register_protocol("beb", _build_beb)
 register_protocol("tree-splitting", _build_tree_splitting)
+register_protocol("wait-and-go", _build_wait_and_go)
+register_protocol("select-first", _build_select_first)
+register_protocol("decay", _build_decay)

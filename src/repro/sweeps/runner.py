@@ -80,7 +80,13 @@ def resolve_config(config: SweepConfig, backend: Optional[str] = None) -> Config
     from repro.sweeps.protocols import build_protocol
     from repro.workloads import WorkloadSuite
 
-    protocol = build_protocol(config.protocol, config.n, config.k, seed=config.seed)
+    protocol = build_protocol(
+        config.protocol,
+        config.n,
+        config.k,
+        seed=config.seed,
+        **dict(config.protocol_params),
+    )
     patterns = WorkloadSuite().generate(
         config.workload,
         n=config.n,
@@ -329,6 +335,12 @@ class SweepRunner:
         reused = len(records)
         obs.add("sweeps.configs_total", len(configs))
         obs.add("sweeps.configs_reused", reused)
+        if self.store is not None:
+            # Store traffic, counted parent-side in the partition above so the
+            # totals stay worker-count invariant (workers never touch the
+            # store).  A warm rerun of a campaign reads as misses == 0.
+            obs.add("store.hits", reused)
+            obs.add("store.misses", len(pending))
         meter = (
             None
             if progress is None

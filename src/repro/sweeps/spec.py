@@ -67,6 +67,12 @@ class SweepConfig:
         Simulation horizon per pattern.
     params:
         Extra workload parameters as sorted ``(key, value)`` pairs.
+    protocol_params:
+        Extra protocol-construction parameters as sorted ``(key, value)``
+        pairs, forwarded to the protocol builder (e.g. ``window``/``c`` for
+        ``scenario-c`` ablations).  Empty for the default construction — and
+        omitted from the canonical JSON form when empty, so configs without
+        overrides keep their historical hashes (and their store records).
     """
 
     protocol: str
@@ -77,9 +83,13 @@ class SweepConfig:
     seed: int = 0
     max_slots: int = 200_000
     params: ParamItems = ()
+    protocol_params: ParamItems = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "params", _freeze_params(dict(self.params)))
+        object.__setattr__(
+            self, "protocol_params", _freeze_params(dict(self.protocol_params))
+        )
         if self.n < 1 or self.k < 1 or self.k > self.n:
             raise ValueError(f"need 1 <= k <= n, got k={self.k}, n={self.n}")
         if self.batch < 1:
@@ -90,8 +100,13 @@ class SweepConfig:
     # -- serialization -------------------------------------------------------
 
     def as_dict(self) -> Dict[str, object]:
-        """Plain-data form (JSON-ready; ``params`` becomes a dict)."""
-        return {
+        """Plain-data form (JSON-ready; ``params`` becomes a dict).
+
+        ``protocol_params`` appears only when non-empty: the default
+        construction keeps the exact canonical form (and hash) it had before
+        the field existed, so pre-existing stores stay valid.
+        """
+        out: Dict[str, object] = {
             "protocol": self.protocol,
             "n": self.n,
             "k": self.k,
@@ -101,13 +116,21 @@ class SweepConfig:
             "max_slots": self.max_slots,
             "params": dict(self.params),
         }
+        if self.protocol_params:
+            out["protocol_params"] = dict(self.protocol_params)
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "SweepConfig":
         """Inverse of :meth:`as_dict`."""
         known = dict(data)
         params = known.pop("params", {})
-        return cls(params=_freeze_params(params), **known)
+        protocol_params = known.pop("protocol_params", {})
+        return cls(
+            params=_freeze_params(params),
+            protocol_params=_freeze_params(protocol_params),
+            **known,
+        )
 
     def config_hash(self) -> str:
         """Stable 16-hex-digit key for the on-disk result store.
@@ -121,8 +144,12 @@ class SweepConfig:
 
     def label(self) -> str:
         """Short human-readable identifier used in tables and progress lines."""
+        protocol = self.protocol
+        if self.protocol_params:
+            overrides = ",".join(f"{k}={v}" for k, v in self.protocol_params)
+            protocol = f"{protocol}[{overrides}]"
         return (
-            f"{self.protocol} n={self.n} k={self.k} "
+            f"{protocol} n={self.n} k={self.k} "
             f"{self.workload} x{self.batch} seed={self.seed}"
         )
 

@@ -11,6 +11,13 @@ back into a :class:`~repro.engine.BatchResult` for further analysis.
 
 Writes are atomic (temp file + :func:`os.replace`), so a crash mid-write
 never leaves a truncated record behind for a resume to trip over.
+
+Record files are versioned: every record carries a ``schema`` field and
+:func:`load_record` is the single gate that lifts on-disk JSON back into a
+:class:`ConfigRecord` — it migrates records from known older layouts (the
+pre-schema ``version: 1`` form) and rejects anything newer or malformed with
+a :class:`StoreSchemaError` naming the file and the expected schema, instead
+of lifting arbitrary JSON into a :class:`~repro.engine.BatchResult` silently.
 """
 
 from __future__ import annotations
@@ -28,13 +35,25 @@ import numpy as np
 from repro.engine import BatchResult
 from repro.sweeps.spec import SweepConfig
 
-__all__ = ["ConfigRecord", "SweepStore"]
+__all__ = ["ConfigRecord", "SweepStore", "StoreSchemaError", "load_record"]
 
 #: Columns persisted per config (aligned, one entry per pattern).
 _COLUMNS = ("solved", "k", "first_wake", "success_slot", "winner", "latency", "slots_examined")
 
-#: Schema version stamped into every record file.
-_VERSION = 1
+#: Schema version stamped into every record file (as the ``schema`` field).
+#: Schema 1 records predate the field and carry ``version: 1`` instead;
+#: :func:`load_record` still reads them (the payload layout is identical).
+_SCHEMA = 2
+
+
+class StoreSchemaError(ValueError):
+    """A store record could not be lifted into a :class:`ConfigRecord`.
+
+    Raised for records written by a newer schema than this code understands,
+    for files that are not valid record JSON at all, and for records missing
+    required fields — always with the offending file named in the message so
+    a user can delete or regenerate it.
+    """
 
 
 @dataclass(frozen=True)
@@ -91,7 +110,7 @@ class ConfigRecord:
     def as_dict(self) -> Dict[str, object]:
         """Plain-data form written to disk."""
         return {
-            "version": _VERSION,
+            "schema": _SCHEMA,
             "hash": self.config.config_hash(),
             "config": self.config.as_dict(),
             "protocol_label": self.protocol_label,
@@ -118,6 +137,36 @@ class ConfigRecord:
         out["hash"] = self.config.config_hash()
         out.update(self.summary)
         return out
+
+
+def load_record(data: Dict[str, object], *, source: str = "<record>") -> ConfigRecord:
+    """Lift one on-disk record dict into a :class:`ConfigRecord`, versioned.
+
+    Accepts the current ``schema: 2`` layout and migrates the pre-schema
+    ``version: 1`` layout (identical payload, different version field).
+    Anything else — an unknown or newer schema, a record missing its
+    version marker, a payload missing required fields — raises
+    :class:`StoreSchemaError` naming ``source`` so stale or foreign files
+    never masquerade as results.
+    """
+    if not isinstance(data, dict):
+        raise StoreSchemaError(f"{source}: record is not a JSON object")
+    schema = data.get("schema", None)
+    if schema is None and data.get("version") == 1:
+        schema = _SCHEMA  # legacy layout: same payload, pre-rename version field
+    if schema is None:
+        raise StoreSchemaError(
+            f"{source}: record has no schema marker (expected schema={_SCHEMA})"
+        )
+    if schema != _SCHEMA:
+        raise StoreSchemaError(
+            f"{source}: record schema {schema!r} is not supported "
+            f"(this build reads schema {_SCHEMA}); delete or regenerate it"
+        )
+    try:
+        return ConfigRecord.from_dict(data)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StoreSchemaError(f"{source}: malformed record ({exc})") from exc
 
 
 class SweepStore:
@@ -162,11 +211,33 @@ class SweepStore:
         return path
 
     def load(self, config: SweepConfig) -> Optional[ConfigRecord]:
-        """Load the record for ``config``, or ``None`` if not stored yet."""
+        """Load the record for ``config``, or ``None`` if not stored yet.
+
+        Raises :class:`StoreSchemaError` when a file exists for the config's
+        hash but is not a readable record of a supported schema.
+        """
         path = self.path_for(config)
         if not path.exists():
             return None
-        return ConfigRecord.from_dict(json.loads(path.read_text()))
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise StoreSchemaError(f"{path}: not valid JSON ({exc})") from exc
+        return load_record(data, source=str(path))
+
+    def load_many(self, configs: Sequence[SweepConfig]) -> Dict[str, ConfigRecord]:
+        """Bulk load: records for every stored config, keyed by config hash.
+
+        Unstored configs are simply absent from the result — the campaign
+        driver uses this to partition a deduplicated spec list into hits and
+        pending work in one pass.
+        """
+        out: Dict[str, ConfigRecord] = {}
+        for config in configs:
+            record = self.load(config)
+            if record is not None:
+                out[config.config_hash()] = record
+        return out
 
     def completed(self, configs: Sequence[SweepConfig]) -> List[SweepConfig]:
         """The subset of ``configs`` that already have a stored record."""

@@ -17,7 +17,22 @@ classes that stress different structural assumptions:
   together, stressing schedules whose structure is keyed on ID arithmetic;
 * :func:`density_drawn_pattern` — the building block of density sweeps: the
   number of contenders is itself drawn (log-uniformly up to ``k``), so a
-  batch spans the whole density range instead of sitting at one ``k``.
+  batch spans the whole density range instead of sitting at one ``k``;
+* :func:`late_turn_pattern` — the deterministic worst-case subset: the last
+  ``k`` station IDs (the ones a round-robin schedule serves last) wake
+  simultaneously, or ``gap`` slots apart;
+* :func:`family_boundary_workload_pattern` — wake-ups aligned to the
+  selective-family boundaries of a *named protocol* (built from the sweep
+  registry), the structure-aware attack the paper's Scenario B analysis is
+  about;
+* :func:`window_boundary_workload_pattern` — wake-ups straddling a waking
+  window boundary, with the window length defaulting to the Scenario C
+  matrix parameters for ``n``.
+
+The last three exist so the experiment campaign can express its adversarial
+pattern batteries as *named* workloads inside content-hashable sweep configs
+(see :mod:`repro.experiments.campaign`), instead of materializing patterns
+outside the store's addressing scheme.
 
 Every generator follows the :mod:`repro.channel.adversary` conventions: the
 signature starts ``(n, k, *, start=0, ..., stations=None, rng=None)``, the
@@ -33,7 +48,14 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro._util import RngLike, as_generator, validate_k_n
-from repro.channel.adversary import random_station_subset, uniform_random_pattern
+from repro.channel.adversary import (
+    family_boundary_pattern,
+    random_station_subset,
+    simultaneous_pattern,
+    staggered_pattern,
+    uniform_random_pattern,
+    window_boundary_pattern,
+)
 from repro.channel.wakeup import WakeupPattern
 
 __all__ = [
@@ -42,6 +64,9 @@ __all__ = [
     "churn_burst_pattern",
     "clustered_id_pattern",
     "density_drawn_pattern",
+    "late_turn_pattern",
+    "family_boundary_workload_pattern",
+    "window_boundary_workload_pattern",
 ]
 
 
@@ -215,3 +240,90 @@ def density_drawn_pattern(
     log_lo, log_hi = np.log(k_min), np.log(k + 1)
     k_eff = min(k, int(np.exp(gen.uniform(log_lo, log_hi))))
     return uniform_random_pattern(n, max(k_min, k_eff), start=start, window=window, rng=gen)
+
+
+def late_turn_pattern(
+    n: int,
+    k: int,
+    *,
+    start: int = 0,
+    gap: int = 0,
+    rng: RngLike = None,
+) -> WakeupPattern:
+    """The last ``k`` station IDs wake together (or ``gap`` slots apart).
+
+    The classical hard instance for ID-ordered schedules: stations
+    ``n-k+1 .. n`` are exactly the ones a round-robin pass serves last, so
+    this pattern realizes the ``n - k + 1``-ish worst cases the E-series
+    certificates pin.  Fully deterministic — ``rng`` is accepted for the
+    workload-factory convention but never drawn from, so every batch row is
+    the identical pattern.
+    """
+    k, n = validate_k_n(k, n)
+    if gap < 0:
+        raise ValueError(f"gap must be >= 0, got {gap}")
+    stations = list(range(n - k + 1, n + 1))
+    if gap == 0:
+        return simultaneous_pattern(n, k, start=start, stations=stations)
+    return staggered_pattern(n, k, start=start, gap=gap, stations=stations)
+
+
+def family_boundary_workload_pattern(
+    n: int,
+    k: int,
+    *,
+    start: int = 0,
+    protocol: str = "scenario-b",
+    proto_seed: int = 0,
+    periods: int = 4,
+    rng: RngLike = None,
+) -> WakeupPattern:
+    """Wake-ups aligned to a named protocol's selective-family boundaries.
+
+    Builds ``protocol`` from the sweep registry (sharing the process-wide
+    family cache, so repeated rows reconstruct it cheaply) and attacks the
+    slots where its schedule switches families: ``family_boundaries_absolute``
+    for interleaved Scenario B constructions, ``boundary_slots`` for plain
+    ``wait-and-go``.  Protocols exposing neither, or exposing no boundary
+    below ``periods`` schedule periods, fall back to the deterministic
+    late-turn instance so the workload is total over the registry.
+    """
+    from repro.sweeps.protocols import build_protocol
+
+    k, n = validate_k_n(k, n)
+    if periods < 1:
+        raise ValueError(f"periods must be >= 1, got {periods}")
+    proto = build_protocol(protocol, n, k, seed=proto_seed)
+    if hasattr(proto, "family_boundaries_absolute"):
+        boundaries = proto.family_boundaries_absolute(
+            up_to=periods * proto.wait_and_go_arm.period
+        )
+    elif hasattr(proto, "boundary_slots"):
+        boundaries = proto.boundary_slots(up_to=periods * proto.period)
+    else:
+        boundaries = []
+    if not boundaries:
+        return late_turn_pattern(n, k, start=start, rng=rng)
+    return family_boundary_pattern(n, k, boundaries=boundaries, start=start, rng=rng)
+
+
+def window_boundary_workload_pattern(
+    n: int,
+    k: int,
+    *,
+    start: int = 0,
+    window: int = 0,
+    rng: RngLike = None,
+) -> WakeupPattern:
+    """Wake-ups straddling a waking-window boundary (Scenario C's attack).
+
+    ``window=0`` (the default) derives the window length from the Scenario C
+    matrix parameters for ``n``, so the workload tracks the construction it
+    attacks without the config having to repeat the derivation.
+    """
+    k, n = validate_k_n(k, n)
+    if window <= 0:
+        from repro.core.waking_matrix import matrix_parameters
+
+        window = matrix_parameters(n).window
+    return window_boundary_pattern(n, k, window_length=max(1, window), start=start, rng=rng)

@@ -48,7 +48,10 @@ from repro.workloads.generators import (
     clustered_id_pattern,
     density_drawn_pattern,
     duty_cycle_pattern,
+    family_boundary_workload_pattern,
     heavy_tailed_pattern,
+    late_turn_pattern,
+    window_boundary_workload_pattern,
 )
 
 __all__ = [
@@ -161,6 +164,21 @@ register_workload(
     "density-sweep",
     "contender count drawn log-uniformly up to k, then uniform wake times",
     density_drawn_pattern,
+)
+register_workload(
+    "late-turn",
+    "the last k station IDs wake together (gap slots apart), deterministically",
+    late_turn_pattern,
+)
+register_workload(
+    "family-boundary",
+    "wake-ups aligned to a named protocol's selective-family boundaries",
+    family_boundary_workload_pattern,
+)
+register_workload(
+    "window-boundary",
+    "wake-ups straddling a waking-window boundary (Scenario C attack)",
+    window_boundary_workload_pattern,
 )
 
 

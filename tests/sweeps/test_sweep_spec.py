@@ -50,10 +50,27 @@ class TestSweepConfig:
             dict(base, seed=1),
             dict(base, max_slots=20_000),
             dict(base, params={"window": 9}),
+            dict(base, protocol_params={"window": 9}),
         ]
         hashes = {SweepConfig(**v).config_hash() for v in variants}
         hashes.add(SweepConfig(**base).config_hash())
         assert len(hashes) == len(variants) + 1
+
+    def test_empty_protocol_params_keep_the_historical_canonical_form(self):
+        # protocol_params must be invisible when empty: the canonical dict has
+        # no such key, so default-construction configs keep the hashes (and
+        # store records) they had before the field existed.
+        config = SweepConfig(protocol="round-robin", n=32, k=4)
+        assert "protocol_params" not in config.as_dict()
+        assert SweepConfig.from_dict(config.as_dict()) == config
+
+    def test_protocol_params_round_trip_and_label(self):
+        config = SweepConfig(
+            protocol="scenario-c", n=64, k=8, protocol_params={"window": 16, "c": 4},
+        )
+        assert config.as_dict()["protocol_params"] == {"c": 4, "window": 16}
+        assert SweepConfig.from_dict(config.as_dict()) == config
+        assert config.label().startswith("scenario-c[c=4,window=16]")
 
 
 class TestSweepSpec:

@@ -5,10 +5,11 @@ from __future__ import annotations
 import json
 
 import numpy as np
+import pytest
 
 from repro.sweeps.runner import resolve_config
 from repro.sweeps.spec import SweepConfig
-from repro.sweeps.store import ConfigRecord, SweepStore
+from repro.sweeps.store import ConfigRecord, StoreSchemaError, SweepStore, load_record
 
 CONFIG = SweepConfig(protocol="round-robin", n=32, k=4, batch=6, max_slots=10_000)
 
@@ -82,4 +83,54 @@ class TestSweepStore:
         data = json.loads(path.read_text())
         assert data["hash"] == CONFIG.config_hash()
         assert data["config"] == CONFIG.as_dict()
-        assert data["version"] == 1
+        assert data["schema"] == 2
+
+    def test_load_many_partitions_by_presence(self, tmp_path):
+        store = SweepStore(tmp_path / "store")
+        other = SweepConfig(protocol="round-robin", n=32, k=8, batch=6, max_slots=10_000)
+        record = resolve_config(CONFIG)
+        store.save(record)
+        loaded = store.load_many([CONFIG, other])
+        assert loaded == {CONFIG.config_hash(): record}
+
+
+class TestRecordSchema:
+    def test_legacy_version_1_records_still_load(self, tmp_path):
+        # Records written before the schema field carried "version": 1 with
+        # an otherwise identical payload; they must keep loading.
+        store = SweepStore(tmp_path / "store")
+        record = resolve_config(CONFIG)
+        data = record.as_dict()
+        del data["schema"]
+        data["version"] = 1
+        store.root.mkdir(parents=True)
+        store.path_for(CONFIG).write_text(json.dumps(data))
+        assert store.load(CONFIG) == record
+
+    def test_unknown_schema_is_rejected_with_source(self, tmp_path):
+        store = SweepStore(tmp_path / "store")
+        data = resolve_config(CONFIG).as_dict()
+        data["schema"] = 99
+        store.root.mkdir(parents=True)
+        store.path_for(CONFIG).write_text(json.dumps(data))
+        with pytest.raises(StoreSchemaError, match="99"):
+            store.load(CONFIG)
+
+    def test_unmarked_record_is_rejected(self):
+        data = resolve_config(CONFIG).as_dict()
+        del data["schema"]
+        with pytest.raises(StoreSchemaError, match="no schema marker"):
+            load_record(data)
+
+    def test_malformed_payload_is_rejected(self):
+        data = resolve_config(CONFIG).as_dict()
+        del data["columns"]
+        with pytest.raises(StoreSchemaError, match="malformed"):
+            load_record(data)
+
+    def test_corrupt_file_is_rejected_not_crashed(self, tmp_path):
+        store = SweepStore(tmp_path / "store")
+        store.root.mkdir(parents=True)
+        store.path_for(CONFIG).write_text("{not json")
+        with pytest.raises(StoreSchemaError, match="not valid JSON"):
+            store.load(CONFIG)

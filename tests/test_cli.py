@@ -102,6 +102,63 @@ class TestExperimentCommand:
         assert "E8" in out
 
 
+class TestPaperCommand:
+    def test_run_resolves_into_the_store_and_resumes_warm(self, capsys, tmp_path):
+        store = str(tmp_path / "paper-store")
+        argv = ["paper", "run", "--scale", "quick", "--store", store,
+                "--experiments", "E4"]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "misses 5" in cold and "hit rate 0%" in cold
+        assert (tmp_path / "paper-store" / "campaign_manifest.json").is_file()
+        # Second run over the complete store: 100% hit, nothing recomputed.
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "hits 5, misses 0" in warm and "hit rate 100%" in warm
+
+    def test_status_shows_store_coverage(self, capsys, tmp_path):
+        store = str(tmp_path / "paper-store")
+        argv = ["paper", "status", "--scale", "quick", "--store", store,
+                "--experiments", "E4"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0/5 unique specs stored" in out
+        main(["paper", "run", "--scale", "quick", "--store", store,
+              "--experiments", "E4"])
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "5/5 unique specs stored" in out
+
+    def test_report_writes_the_rendered_report(self, capsys, tmp_path):
+        output = tmp_path / "report.md"
+        exit_code = main(
+            ["paper", "report", "--scale", "quick", "--store", "",
+             "--experiments", "E7", "E8", "--output", str(output)]
+        )
+        assert exit_code == 0
+        text = output.read_text()
+        assert "## E7" in text and "## E8" in text
+        assert "Campaign manifest" in text
+
+    def test_export_writes_rows(self, capsys, tmp_path):
+        export = tmp_path / "rows.json"
+        exit_code = main(
+            ["paper", "run", "--scale", "quick", "--store", "",
+             "--experiments", "E8", "--export", str(export)]
+        )
+        assert exit_code == 0
+        rows = json.loads(export.read_text())
+        assert rows and all(row["experiment"] == "E8" for row in rows)
+
+    def test_unknown_experiment_is_usage_error(self, capsys):
+        exit_code = main(["paper", "run", "--scale", "quick", "--store", "",
+                          "--experiments", "E99"])
+        err = capsys.readouterr().err
+        assert exit_code == 2
+        assert "error:" in err and "E99" in err
+
+
 class TestWorkloadsCommand:
     def test_list_prints_registry(self, capsys):
         assert main(["workloads", "list"]) == 0
