@@ -1,0 +1,149 @@
+"""Throughput of the guided search's batched candidate resolution.
+
+The adversarial-search driver (:mod:`repro.adversary.search`) resolves each
+step's whole candidate population through the batch engine in one chunked
+scan instead of running candidates one `run_deterministic` call at a time.
+These benchmarks record, for the reference configuration of one 64-candidate
+step at n = 1024, k = 16, the candidates/sec of
+
+* the per-candidate loop (one ``run_deterministic`` per pattern — the path
+  a naive search driver would take), and
+* one batched resolution of the same population (``_evaluate``, exactly the
+  call the driver makes per step),
+
+plus a hard regression gate asserting the batched path stays at least 10x
+over the loop, with an in-loop check that both paths rank the candidates
+identically (same winner, same effective latencies).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_adversary_search.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.adversary.search import (
+    SearchSpec,
+    _evaluate,
+    effective_latencies,
+    seed_population,
+)
+from repro.channel.simulator import run_deterministic
+from repro.sweeps.protocols import build_protocol
+
+N, K, POPULATION = 1024, 16, 64
+MAX_SLOTS = 200_000
+
+
+def _spec() -> SearchSpec:
+    return SearchSpec(
+        protocol="scenario-b",
+        n=N,
+        k=K,
+        budget=POPULATION,
+        population=POPULATION,
+        seed=0,
+        window=256,
+        max_slots=MAX_SLOTS,
+    )
+
+
+def _step_population(spec: SearchSpec):
+    return seed_population(spec, POPULATION, np.random.default_rng(0))
+
+
+def _loop_effective(protocol, patterns, max_slots):
+    latency = []
+    solved = []
+    for pattern in patterns:
+        result = run_deterministic(protocol, pattern, max_slots=max_slots)
+        solved.append(result.solved)
+        latency.append(result.latency if result.solved else max_slots)
+    return effective_latencies(np.asarray(latency), np.asarray(solved), max_slots)
+
+
+def test_benchmark_per_candidate_loop(benchmark):
+    """Baseline: one run_deterministic call per candidate."""
+    spec = _spec()
+    protocol = build_protocol(spec.protocol, N, K, seed=spec.seed)
+    patterns = _step_population(spec)
+
+    effective = benchmark(lambda: _loop_effective(protocol, patterns, MAX_SLOTS))
+    assert len(effective) == POPULATION
+    benchmark.extra_info["candidates_per_sec"] = POPULATION / benchmark.stats["mean"]
+
+
+def test_benchmark_batched_step_resolution(benchmark):
+    """One batched resolution of the same step population."""
+    spec = _spec()
+    protocol = build_protocol(spec.protocol, N, K, seed=spec.seed)
+    patterns = _step_population(spec)
+    spec_hash = spec.config_hash()
+
+    effective, _, solved = benchmark(
+        lambda: _evaluate(spec, spec_hash, 0, patterns, workers=0, protocol=protocol)
+    )
+    assert len(effective) == POPULATION and bool(np.asarray(solved).all())
+    benchmark.extra_info["candidates_per_sec"] = POPULATION / benchmark.stats["mean"]
+
+
+def test_batched_resolution_is_at_least_10x(record_gate):
+    """Regression gate: batched candidates/sec >= 10x the per-candidate loop."""
+    spec = _spec()
+    protocol = build_protocol(spec.protocol, N, K, seed=spec.seed)
+    patterns = _step_population(spec)
+    spec_hash = spec.config_hash()
+
+    # Warm up both paths (page faults, lazy schedule caches).
+    _evaluate(spec, spec_hash, 0, patterns[:8], workers=0, protocol=protocol)
+    _loop_effective(protocol, patterns[:8], MAX_SLOTS)
+
+    def best_of(fn, repeats=3):
+        times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    batch_time = best_of(
+        lambda: _evaluate(spec, spec_hash, 0, patterns, workers=0, protocol=protocol)
+    )
+    loop_time = best_of(lambda: _loop_effective(protocol, patterns, MAX_SLOTS))
+    speedup = loop_time / batch_time
+
+    # The speedup must not buy a different search: both paths must rank the
+    # population identically.
+    batched, _, _ = _evaluate(spec, spec_hash, 0, patterns, workers=0, protocol=protocol)
+    looped = _loop_effective(protocol, patterns, MAX_SLOTS)
+    assert batched.tolist() == looped.tolist()
+    assert int(np.argmax(batched)) == int(np.argmax(looped))
+
+    print(
+        f"adversary step: batched {POPULATION / batch_time:,.0f} candidates/s, "
+        f"loop {POPULATION / loop_time:,.0f} candidates/s, speedup {speedup:.1f}x"
+    )
+    measurements = [
+        {
+            "protocol": spec.protocol,
+            "config": f"B={POPULATION} n={N} k={K}",
+            "speedup": round(speedup, 2),
+            "batch_rate": round(POPULATION / batch_time, 1),
+            "loop_rate": round(POPULATION / loop_time, 1),
+        }
+    ]
+    # Record before asserting so a regression still lands in the trajectory.
+    record_gate(
+        "adversary_search",
+        threshold=10.0,
+        unit="candidates/sec",
+        measurements=measurements,
+    )
+    assert speedup >= 10.0, (
+        f"batched candidate resolution only {speedup:.1f}x over the "
+        f"per-candidate loop at B={POPULATION} n={N} k={K}"
+    )

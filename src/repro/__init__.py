@@ -54,6 +54,12 @@ from repro.channel.adversary import (
     uniform_random_pattern,
     worst_case_search,
 )
+from repro.adversary import (
+    SearchCertificate,
+    SearchSpec,
+    adversarial_search,
+    replay_certificate,
+)
 from repro.core import (
     FixedProbabilityPolicy,
     HashedTransmissionMatrix,
@@ -128,6 +134,11 @@ __all__ = [
     "staggered_pattern",
     "uniform_random_pattern",
     "worst_case_search",
+    # guided adversarial search
+    "SearchCertificate",
+    "SearchSpec",
+    "adversarial_search",
+    "replay_certificate",
     # core algorithms
     "FixedProbabilityPolicy",
     "HashedTransmissionMatrix",

@@ -1,0 +1,150 @@
+"""Local mutation operators over wake-up patterns.
+
+The guided search (:mod:`repro.adversary.search`) explores the wake-pattern
+space by perturbing known-bad patterns instead of redrawing them from
+scratch.  Every operator here maps a valid :class:`~repro.channel.wakeup.WakeupPattern`
+to a valid neighbour with the *same* number of awake stations and
+non-negative wake times — the invariants the property suite pins down — so a
+strategy can compose them freely without re-validating:
+
+* :func:`shift_mutation` — move one station's wake time by a small offset
+  (explores the temporal axis: stragglers, near-collisions);
+* :func:`swap_mutation` — trade one awake station for a sleeping one, keeping
+  its wake slot (explores the subset axis, which matters for protocols whose
+  schedules key on station identity);
+* :func:`merge_mutation` — snap one station's wake time onto another's
+  (pushes toward synchronized bursts, the classical hard case).
+
+Operators degrade gracefully at the boundaries of the space: a swap with no
+sleeping station to trade in, or a merge of a single-station pattern, falls
+back to a shift so :func:`mutate` always makes *some* move.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro._util import RngLike, as_generator
+from repro.channel.wakeup import WakeupPattern
+
+__all__ = [
+    "shift_mutation",
+    "swap_mutation",
+    "merge_mutation",
+    "mutate",
+    "MUTATIONS",
+]
+
+
+def _clamp_time(t: int, max_time: Optional[int]) -> int:
+    t = max(0, int(t))
+    if max_time is not None:
+        t = min(t, int(max_time))
+    return t
+
+
+def shift_mutation(
+    pattern: WakeupPattern,
+    rng: RngLike = None,
+    *,
+    max_shift: int = 8,
+    max_time: Optional[int] = None,
+) -> WakeupPattern:
+    """Move one station's wake time by a uniform offset in ``[-max_shift, max_shift]``.
+
+    The result is clamped to ``[0, max_time]`` (``max_time=None`` leaves the
+    upper end open).  A zero draw is re-mapped to ``+1`` so the operator never
+    returns the input unchanged.
+    """
+    if max_shift < 1:
+        raise ValueError(f"max_shift must be >= 1, got {max_shift}")
+    gen = as_generator(rng)
+    times = dict(pattern.wake_times)
+    station = int(gen.choice(np.asarray(sorted(times))))
+    delta = int(gen.integers(-max_shift, max_shift + 1)) or 1
+    times[station] = _clamp_time(times[station] + delta, max_time)
+    return WakeupPattern(pattern.n, times)
+
+
+def swap_mutation(
+    pattern: WakeupPattern,
+    rng: RngLike = None,
+    *,
+    max_shift: int = 8,
+    max_time: Optional[int] = None,
+) -> WakeupPattern:
+    """Replace one awake station with a sleeping one at the same wake slot.
+
+    Keeps the temporal shape fixed while exploring the identity axis.  When
+    every station is already awake (``k == n``) there is nothing to swap in,
+    so the operator falls back to :func:`shift_mutation`.
+    """
+    gen = as_generator(rng)
+    times = dict(pattern.wake_times)
+    awake = set(times)
+    sleeping = [u for u in range(1, pattern.n + 1) if u not in awake]
+    if not sleeping:
+        return shift_mutation(pattern, gen, max_shift=max_shift, max_time=max_time)
+    out_station = int(gen.choice(np.asarray(sorted(awake))))
+    in_station = int(gen.choice(np.asarray(sleeping)))
+    times[in_station] = times.pop(out_station)
+    return WakeupPattern(pattern.n, times)
+
+
+def merge_mutation(
+    pattern: WakeupPattern,
+    rng: RngLike = None,
+    *,
+    max_shift: int = 8,
+    max_time: Optional[int] = None,
+) -> WakeupPattern:
+    """Snap one station's wake time onto another station's.
+
+    Coalesces wake slots into bursts — repeated merges drive a spread-out
+    pattern toward the synchronized case.  A single-station pattern has
+    nothing to merge, so the operator falls back to :func:`shift_mutation`.
+    """
+    gen = as_generator(rng)
+    times = dict(pattern.wake_times)
+    if len(times) < 2:
+        return shift_mutation(pattern, gen, max_shift=max_shift, max_time=max_time)
+    stations = np.asarray(sorted(times))
+    mover, target = (int(u) for u in gen.choice(stations, size=2, replace=False))
+    times[mover] = _clamp_time(times[target], max_time)
+    return WakeupPattern(pattern.n, times)
+
+
+#: Registry of the named mutation operators, in the order :func:`mutate`
+#: draws from.  All share the ``(pattern, rng, *, max_shift, max_time)``
+#: signature so strategies can weight them uniformly.
+MUTATIONS: Dict[str, Callable[..., WakeupPattern]] = {
+    "shift": shift_mutation,
+    "swap": swap_mutation,
+    "merge": merge_mutation,
+}
+
+
+def mutate(
+    pattern: WakeupPattern,
+    rng: RngLike = None,
+    *,
+    max_shift: int = 8,
+    max_time: Optional[int] = None,
+    ops: Optional[Sequence[str]] = None,
+) -> WakeupPattern:
+    """Apply one randomly chosen mutation operator to ``pattern``.
+
+    ``ops`` restricts the draw to a subset of :data:`MUTATIONS` keys (the
+    full registry by default, in its fixed insertion order so the stream of
+    choices is reproducible).  The result is always a valid pattern with the
+    same number of awake stations as the input.
+    """
+    gen = as_generator(rng)
+    names = list(MUTATIONS) if ops is None else list(ops)
+    unknown = [name for name in names if name not in MUTATIONS]
+    if unknown:
+        raise KeyError(f"unknown mutation(s) {unknown}; registered: {sorted(MUTATIONS)}")
+    name = names[int(gen.integers(0, len(names)))]
+    return MUTATIONS[name](pattern, gen, max_shift=max_shift, max_time=max_time)

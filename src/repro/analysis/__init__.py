@@ -31,6 +31,7 @@ from repro.analysis.fitting import (
 )
 from repro.analysis.certificates import (
     BoundCertificate,
+    bound_ratio,
     check_upper_bound,
     check_lower_bound,
     ratio_table,
@@ -54,6 +55,7 @@ __all__ = [
     "best_model",
     "normalized_ratios",
     "BoundCertificate",
+    "bound_ratio",
     "check_upper_bound",
     "check_lower_bound",
     "ratio_table",

@@ -14,7 +14,29 @@ from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["BoundCertificate", "check_upper_bound", "check_lower_bound", "ratio_table"]
+__all__ = [
+    "BoundCertificate",
+    "bound_ratio",
+    "check_upper_bound",
+    "check_lower_bound",
+    "ratio_table",
+]
+
+
+def bound_ratio(n: int, k: int, measured: float, bound: Callable[[int, int], float]) -> float:
+    """``measured / bound(n, k)`` — the normalized latency a certificate carries.
+
+    The single definition of the ratio that both the sweep-level checks below
+    and the per-pattern :class:`repro.adversary.SearchCertificate` use, so a
+    certificate's ``bound_ratio`` field is directly comparable to the
+    ``worst_ratio`` of a :class:`BoundCertificate` built from the same bound.
+    Raises :class:`ValueError` when the bound is non-positive at ``(n, k)``
+    (a ratio against it would be meaningless).
+    """
+    b = float(bound(int(n), int(k)))
+    if b <= 0:
+        raise ValueError(f"bound evaluated to non-positive value {b} at n={n}, k={k}")
+    return float(measured) / b
 
 
 @dataclass(frozen=True)

@@ -22,7 +22,44 @@ import numpy as np
 
 from repro._util import validate_positive_int, validate_station_id
 
-__all__ = ["WakeupPattern"]
+__all__ = ["WakeupPattern", "encode_wake_times", "decode_wake_times"]
+
+
+def encode_wake_times(wake_times: Mapping[int, int]) -> str:
+    """Encode a ``station -> wake slot`` mapping as a compact sortable string.
+
+    The format is ``"station@slot"`` pairs joined by ``";"``, sorted by
+    station ID — e.g. ``"3@0;5@2;7@2"``.  It is the canonical flat form used
+    wherever a wake-up pattern has to survive a CSV/JSON round trip (worst-case
+    grid exports, adversarial-search certificates and checkpoints):
+    :func:`decode_wake_times` inverts it exactly, so an exported row can be
+    replayed bit for bit.
+    """
+    return ";".join(f"{int(u)}@{int(t)}" for u, t in sorted(wake_times.items()))
+
+
+def decode_wake_times(text: str) -> Dict[int, int]:
+    """Inverse of :func:`encode_wake_times`.
+
+    Raises :class:`ValueError` for anything that is not a well-formed
+    encoding, so corrupted export rows fail loudly instead of replaying a
+    different pattern.
+    """
+    if not isinstance(text, str) or not text:
+        raise ValueError(f"not a wake-times encoding: {text!r}")
+    out: Dict[int, int] = {}
+    for part in text.split(";"):
+        station_text, sep, slot_text = part.partition("@")
+        if not sep:
+            raise ValueError(f"malformed wake-times entry {part!r} in {text!r}")
+        try:
+            station, slot = int(station_text), int(slot_text)
+        except ValueError:
+            raise ValueError(f"malformed wake-times entry {part!r} in {text!r}") from None
+        if station in out:
+            raise ValueError(f"station {station} appears twice in {text!r}")
+        out[station] = slot
+    return out
 
 
 @dataclass(frozen=True)

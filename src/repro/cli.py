@@ -1,6 +1,6 @@
 """Command-line interface for the repro library.
 
-Nine subcommands cover the workflows a user needs without writing Python:
+Ten subcommands cover the workflows a user needs without writing Python:
 
 ``simulate``
     Build one protocol, one wake-up pattern, run the simulation and print the
@@ -51,6 +51,17 @@ Nine subcommands cover the workflows a user needs without writing Python:
     ``--backend`` forwards an array-backend name to every worker (execution
     metadata only — config hashes and results are backend-independent).
 
+``adversary``
+    Guided adversarial search (:mod:`repro.adversary`): ``search`` hunts the
+    wake-pattern space for a bad input with a chosen strategy
+    (``anneal``/``evolution``/``bandit``) under a fixed candidate budget,
+    prints the best finding and optionally exports it as a replayable
+    certificate; ``replay`` re-measures a certificate standalone and fails
+    when the recorded latency does not reproduce; ``report`` summarizes the
+    searches checkpointed in a store.  With ``--store``, an interrupted
+    search resumes at its last completed step; results are bit-for-bit
+    identical for any ``--workers`` count and across interrupt/resume.
+
 ``bench``
     Benchmark-trajectory analytics (:mod:`repro.obs.bench`): ``compare`` two
     or more ``BENCH_results.json`` artifacts — file paths or git revisions
@@ -84,6 +95,10 @@ Examples
     python -m repro sweep run --n-values 128 --workers 4 --trace sweep-trace.jsonl
     REPRO_BACKEND=numexpr python -m repro sweep run --n-values 256 --workers 4
     python -m repro sweep status --spec grid.json --store sweep-store
+    python -m repro adversary search --protocol scenario-b --n 256 --k 16 \\
+        --strategy anneal --budget 2048 --store adversary-store --certificate worst.json
+    python -m repro adversary replay --certificate worst.json
+    python -m repro adversary report --store adversary-store
     python -m repro bench compare BENCH_baseline.json BENCH_results.json --tolerance 0.25
     python -m repro obs report sweep-trace.jsonl
 """
@@ -116,6 +131,7 @@ from repro.experiments.config import FULL, QUICK, STANDARD
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.reporting.figures import render_trace
 from repro.reporting.tables import TextTable
+from repro.adversary.strategies import strategy_names
 from repro.sweeps import SweepRunner, SweepSpec, SweepStore
 from repro.sweeps.protocols import PROTOCOL_BUILDERS, build_protocol
 from repro.workloads import WorkloadSuite
@@ -154,6 +170,7 @@ subcommands:
   verify-matrix  find a verified waking-matrix seed
   workloads      list/sample the workload suite or run a batch
   sweep          run, resume or inspect a config-grid sweep (supports --trace)
+  adversary      guided adversarial search with replayable certificates
   bench          compare BENCH_results.json artifacts across runs/revisions
   obs            summarize a JSONL trace (top spans, counters, configs/sec)
 """
@@ -325,6 +342,63 @@ def build_parser() -> argparse.ArgumentParser:
         "cupy or auto (default: the REPRO_BACKEND environment variable, "
         "else numpy); execution metadata only — config hashes and results "
         "are backend-independent",
+    )
+
+    adversary = subparsers.add_parser(
+        "adversary",
+        help="guided adversarial search with replayable certificates",
+        description="Search the wake-pattern space for bad inputs via "
+        "repro.adversary: a strategy proposes one candidate population per "
+        "step, the batch engine resolves it, and the worst finding exports "
+        "as a certificate that replays standalone. With --store the search "
+        "checkpoints after every step and an interrupted run resumes; "
+        "results are bit-for-bit identical for any --workers count. "
+        "Examples: `repro adversary search --protocol scenario-b --n 256 "
+        "--k 16 --strategy anneal --budget 2048 --certificate worst.json`; "
+        "`repro adversary replay --certificate worst.json`; `repro "
+        "adversary report --store adversary-store`.",
+    )
+    adversary.add_argument("action", choices=("search", "replay", "report"))
+    adversary.add_argument(
+        "--protocol", choices=sorted(PROTOCOLS), default="scenario-b",
+        help="protocol under attack (search action)",
+    )
+    adversary.add_argument("--n", type=int, default=256, help="number of attached stations")
+    adversary.add_argument("--k", type=int, default=16, help="awakened stations per candidate")
+    adversary.add_argument(
+        "--strategy", choices=strategy_names(), default="anneal",
+        help="search strategy (default anneal)",
+    )
+    adversary.add_argument(
+        "--budget", type=int, default=2048, help="total candidate evaluations"
+    )
+    adversary.add_argument(
+        "--population", type=int, default=64, help="candidates resolved per step"
+    )
+    adversary.add_argument("--seed", type=int, default=0, help="root of every derived stream")
+    adversary.add_argument(
+        "--window", type=int, default=256,
+        help="temporal scale of seed patterns and mutations",
+    )
+    adversary.add_argument("--max-slots", type=int, default=200_000)
+    adversary.add_argument(
+        "--store", default=None,
+        help="SweepStore directory for per-step checkpoints (search: enables "
+        "resume; report: required)",
+    )
+    adversary.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes per step (0 = in-process; results identical)",
+    )
+    adversary.add_argument(
+        "--certificate", default=None, metavar="PATH",
+        help="search: write the best finding to PATH; replay: the "
+        "certificate to re-measure (required)",
+    )
+    adversary.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a JSONL observability trace of the search to PATH "
+        "(plus PATH.manifest.json); see `repro obs report`",
     )
 
     bench = subparsers.add_parser(
@@ -695,6 +769,100 @@ def _cmd_sweep_worst_case(args: argparse.Namespace, spec: SweepSpec) -> int:
     return 0
 
 
+def _cmd_adversary(args: argparse.Namespace) -> int:
+    """``repro adversary``: guided search, certificate replay, store report."""
+    from repro.adversary import (
+        CertificateSchemaError,
+        SearchSpec,
+        adversarial_search,
+        checkpoint_summaries,
+        read_certificate,
+        replay_certificate,
+        write_certificate,
+    )
+    from repro.sweeps.store import StoreSchemaError
+
+    try:
+        if args.action == "replay":
+            if not args.certificate:
+                print("error: `adversary replay` requires --certificate", file=sys.stderr)
+                return 2
+            certificate = read_certificate(args.certificate)
+            replayed = replay_certificate(certificate)
+            print(f"recorded: {certificate.describe()}")
+            print(f"replayed: {replayed.describe()}")
+            if replayed != certificate:
+                print("REPLAY MISMATCH: the certificate does not reproduce")
+                return 1
+            print("replay OK: measured latency matches the certificate")
+            return 0
+        if args.action == "report":
+            if not args.store:
+                print("error: `adversary report` requires --store", file=sys.stderr)
+                return 2
+            summaries = checkpoint_summaries(SweepStore(args.store))
+            table = TextTable(
+                ["protocol", "n", "k", "strategy", "evaluated", "best latency", "ratio"]
+            )
+            for entry in summaries:
+                ratio = entry["bound_ratio"]
+                table.add_row(
+                    [
+                        entry["protocol"],
+                        entry["n"],
+                        entry["k"],
+                        entry["strategy"],
+                        f"{entry['evaluated']}/{entry['budget']}",
+                        entry["best_latency"],
+                        "-" if ratio is None else round(float(ratio), 2),
+                    ]
+                )
+            print(table.render())
+            print(f"{len(summaries)} search(es) checkpointed in {args.store}")
+            return 0
+        spec = SearchSpec(
+            protocol=args.protocol,
+            n=args.n,
+            k=args.k,
+            strategy=args.strategy,
+            budget=args.budget,
+            population=args.population,
+            seed=args.seed,
+            window=args.window,
+            max_slots=args.max_slots,
+        )
+        store = SweepStore(args.store) if args.store else None
+        with _tracing(args.trace, argv=getattr(args, "raw_argv", None)):
+            result = adversarial_search(
+                spec,
+                store=store,
+                workers=args.workers,
+                progress=lambda step, evaluated, best: print(
+                    f"step {step}: {evaluated}/{spec.budget} candidates, best latency {best}"
+                ),
+            )
+    except (CertificateSchemaError, StoreSchemaError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (KeyError, TypeError, ValueError) as exc:
+        # Unknown protocol/strategy names and invalid (n, k, budget, ...)
+        # combinations are usage errors, not crashes.
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    best = result.best
+    print(f"best: {best.describe()}")
+    print(
+        "pattern: "
+        + ", ".join(f"{u}@{t}" for u, t in sorted(best.wake_times.items()))
+    )
+    if args.certificate:
+        print(f"wrote {write_certificate(best, args.certificate)}")
+    if store is not None:
+        print(f"checkpoint: {store.blob_path(f'adversary/{spec.config_hash()}')}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """``repro bench compare``: diff benchmark artifacts, fail on drift."""
     try:
@@ -758,6 +926,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "verify-matrix": _cmd_verify_matrix,
         "workloads": _cmd_workloads,
         "sweep": _cmd_sweep,
+        "adversary": _cmd_adversary,
         "bench": _cmd_bench,
         "obs": _cmd_obs,
     }

@@ -55,12 +55,18 @@ from repro.engine.backend import (
     available_backends,
     get_backend,
 )
-from repro.engine.batch import BatchResult, run_deterministic_batch, run_randomized_batch
+from repro.engine.batch import (
+    BatchResult,
+    run_batch,
+    run_deterministic_batch,
+    run_randomized_batch,
+)
 from repro.engine.campaign import Campaign
 from repro.engine.feedback_batch import run_feedback_batch
 
 __all__ = [
     "BatchResult",
+    "run_batch",
     "run_deterministic_batch",
     "run_randomized_batch",
     "run_feedback_batch",

@@ -65,6 +65,7 @@ from repro.channel.wakeup import WakeupPattern
 
 __all__ = [
     "BatchResult",
+    "run_batch",
     "run_deterministic_batch",
     "run_randomized_batch",
     "DEFAULT_BATCH_CHUNK",
@@ -824,4 +825,59 @@ def run_randomized_batch(
         winner=winner,
         latency=latency,
         slots_examined=slots_examined,
+    )
+
+
+def run_batch(
+    protocol: Union[DeterministicProtocol, RandomizedPolicy],
+    patterns: Sequence[WakeupPattern],
+    *,
+    rngs: Optional[Sequence[np.random.Generator]] = None,
+    seed: RngLike = None,
+    max_slots: int = DEFAULT_MAX_SLOTS,
+    chunk: Optional[int] = None,
+    backend: Union[None, str, ArrayBackend] = None,
+) -> BatchResult:
+    """Resolve B patterns against *any* protocol kind in one batched call.
+
+    The kind-agnostic front door of the batch layer: deterministic protocols
+    dispatch to :func:`run_deterministic_batch`, randomized policies to
+    :func:`run_randomized_batch` (which in turn routes feedback-driven
+    vectorized policies to the slot-synchronous feedback engine).  Callers
+    that receive a protocol from the name registry
+    (:func:`repro.sweeps.protocols.build_protocol`) — the sweep workers, the
+    guided adversarial search — use this instead of branching on the type
+    themselves.
+
+    ``rngs``/``seed`` feed the per-pattern streams of randomized policies and
+    must be omitted for deterministic protocols (a deterministic run consumes
+    no randomness; passing streams it would silently drop is almost certainly
+    a caller bug).  ``chunk=None`` defers to each engine's own default.
+    """
+    if isinstance(protocol, DeterministicProtocol):
+        if rngs is not None or seed is not None:
+            raise ValueError(
+                f"{type(protocol).__name__} is deterministic: it consumes no "
+                "randomness, so rngs/seed must not be passed"
+            )
+        return run_deterministic_batch(
+            protocol,
+            patterns,
+            max_slots=max_slots,
+            chunk=DEFAULT_BATCH_CHUNK if chunk is None else chunk,
+            backend=backend,
+        )
+    if isinstance(protocol, RandomizedPolicy):
+        return run_randomized_batch(
+            protocol,
+            patterns,
+            rngs=rngs,
+            seed=seed,
+            max_slots=max_slots,
+            chunk=DEFAULT_RANDOMIZED_CHUNK if chunk is None else chunk,
+            backend=backend,
+        )
+    raise TypeError(
+        "expected a DeterministicProtocol or RandomizedPolicy, got "
+        f"{type(protocol).__name__}"
     )

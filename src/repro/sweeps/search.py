@@ -9,12 +9,18 @@ uses: each job rebuilds its protocol from the registry name
 config content alone (``SeedSequence`` keyed by protocol, n and k — see
 :mod:`repro._util`), so the reported worst cases are bit-for-bit identical
 for any worker count.
+
+The *guided* successor of this driver — simulated annealing / evolutionary /
+bandit search over the wake-pattern space itself, not just the (n, k) grid —
+lives in :mod:`repro.adversary`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.channel.wakeup import WakeupPattern, decode_wake_times, encode_wake_times
 
 __all__ = ["WorstCaseRecord", "worst_case_grid"]
 
@@ -25,7 +31,9 @@ class WorstCaseRecord:
 
     ``latency`` is the run's latency when solved, else ``max_slots`` (the
     horizon sentinel, matching the sequential search's convention).
-    ``wake_times`` reproduces the offending pattern exactly.
+    ``wake_times`` reproduces the offending pattern exactly, and the
+    ``trials``/``window``/``seed`` fields pin down the search that found it,
+    so an exported row is a complete replay recipe.
     """
 
     protocol: str
@@ -34,9 +42,23 @@ class WorstCaseRecord:
     latency: int
     solved: bool
     wake_times: Dict[int, int]
+    trials: int = 0
+    window: int = 0
+    seed: int = 0
+
+    def pattern(self) -> WakeupPattern:
+        """The offending wake-up pattern as a first-class object."""
+        return WakeupPattern(self.n, dict(self.wake_times))
 
     def row(self) -> Dict[str, object]:
-        """Flat dict for CSV/JSON export."""
+        """Flat dict for CSV/JSON export.
+
+        Every reproducing field survives the flattening: the search
+        parameters (``trials``, ``window``, ``seed``) and the exact wake
+        times in the compact ``station@slot;...`` encoding of
+        :func:`repro.channel.wakeup.encode_wake_times`.
+        :meth:`from_row` inverts this exactly.
+        """
         return {
             "protocol": self.protocol,
             "n": self.n,
@@ -44,7 +66,26 @@ class WorstCaseRecord:
             "latency": self.latency,
             "solved": self.solved,
             "pattern_size": len(self.wake_times),
+            "trials": self.trials,
+            "window": self.window,
+            "seed": self.seed,
+            "wake_times": encode_wake_times(self.wake_times),
         }
+
+    @classmethod
+    def from_row(cls, row: Mapping[str, object]) -> "WorstCaseRecord":
+        """Rebuild a record from one exported :meth:`row` dict."""
+        return cls(
+            protocol=str(row["protocol"]),
+            n=int(row["n"]),
+            k=int(row["k"]),
+            latency=int(row["latency"]),
+            solved=bool(row["solved"]),
+            wake_times=decode_wake_times(str(row["wake_times"])),
+            trials=int(row.get("trials", 0)),
+            window=int(row.get("window", 0)),
+            seed=int(row.get("seed", 0)),
+        )
 
 
 def _worst_case_job(job: Tuple[str, int, int, int, int, int, int]) -> WorstCaseRecord:
@@ -66,6 +107,9 @@ def _worst_case_job(job: Tuple[str, int, int, int, int, int, int]) -> WorstCaseR
         latency=int(result.latency) if result.solved else int(max_slots),
         solved=bool(result.solved),
         wake_times=dict(pattern.wake_times),
+        trials=int(trials),
+        window=int(window),
+        seed=int(seed),
     )
 
 

@@ -225,6 +225,64 @@ class SweepStore:
             raise StoreSchemaError(f"{path}: not valid JSON ({exc})") from exc
         return load_record(data, source=str(path))
 
+    # -- auxiliary blobs -----------------------------------------------------
+    #
+    # Besides per-config result records, a store can hold named auxiliary
+    # JSON blobs — checkpoints of long-running drivers that want the same
+    # atomic-write + resume semantics (the adversarial-search driver keeps
+    # its per-step state under ``adversary/<spec-hash>``).  Blob keys map to
+    # ``<key>.json`` under the store root; a ``/`` in the key creates a
+    # subdirectory, which keeps blobs out of the top-level ``*.json`` record
+    # namespace (and out of ``len(store)``).  Schema versioning of the blob
+    # payload is the caller's contract; this layer only guarantees atomic
+    # writes and raises :class:`StoreSchemaError` for unreadable JSON.
+
+    def blob_path(self, key: str) -> Path:
+        """The file a blob key maps to (whether or not it exists)."""
+        if not key or key.startswith("/") or ".." in key:
+            raise ValueError(f"invalid blob key {key!r}")
+        return self.root / f"{key}.json"
+
+    def save_blob(self, key: str, payload: Dict[str, object]) -> Path:
+        """Atomically persist one JSON blob under ``key``; returns its path."""
+        path = self.blob_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(prefix=path.stem + ".", suffix=".tmp", dir=path.parent)
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(payload))
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def load_blob(self, key: str) -> Optional[Dict[str, object]]:
+        """Load the blob under ``key``, or ``None`` when absent.
+
+        Raises :class:`StoreSchemaError` when the file exists but is not
+        valid JSON (a torn or foreign file must fail loudly, exactly like a
+        corrupt config record).
+        """
+        path = self.blob_path(key)
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise StoreSchemaError(f"{path}: not valid JSON ({exc})") from exc
+        if not isinstance(data, dict):
+            raise StoreSchemaError(f"{path}: blob is not a JSON object")
+        return data
+
+    def blobs(self, prefix: str) -> List[Path]:
+        """Existing blob files under ``prefix/`` (sorted, for reporting)."""
+        directory = self.root / prefix
+        if not directory.is_dir():
+            return []
+        return sorted(directory.glob("*.json"))
+
     def load_many(self, configs: Sequence[SweepConfig]) -> Dict[str, ConfigRecord]:
         """Bulk load: records for every stored config, keyed by config hash.
 

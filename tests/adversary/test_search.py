@@ -1,0 +1,171 @@
+"""Tests for the guided-search driver (repro.adversary.search)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.adversary import (
+    SearchSpec,
+    adversarial_search,
+    checkpoint_summaries,
+    seed_population,
+    strategy_names,
+)
+from repro.adversary.search import CHECKPOINT_SCHEMA, _step_generator
+from repro.channel.adversary import simultaneous_pattern, staggered_pattern
+from repro.channel.wakeup import WakeupPattern
+from repro.sweeps.store import StoreSchemaError, SweepStore
+
+
+def _spec(**overrides) -> SearchSpec:
+    base = dict(
+        protocol="scenario-b",
+        n=32,
+        k=4,
+        strategy="anneal",
+        budget=64,
+        population=16,
+        seed=7,
+        window=64,
+        max_slots=20_000,
+    )
+    base.update(overrides)
+    return SearchSpec(**base)
+
+
+class TestSearchSpec:
+    def test_round_trips_through_dict_form(self):
+        spec = _spec(protocol_params=(("trials", 3),))
+        assert SearchSpec.from_dict(spec.as_dict()) == spec
+
+    def test_config_hash_is_content_derived(self):
+        assert _spec().config_hash() == _spec().config_hash()
+        assert _spec().config_hash() != _spec(seed=8).config_hash()
+        assert _spec().config_hash() != _spec(strategy="bandit").config_hash()
+
+    def test_rejects_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            _spec(k=64)  # k > n
+        with pytest.raises(ValueError):
+            _spec(budget=0)
+        with pytest.raises(ValueError):
+            _spec(population=-1)
+        with pytest.raises(ValueError, match="unknown strategy"):
+            _spec(strategy="gradient-descent")
+
+    def test_every_registered_strategy_is_constructible(self):
+        for name in strategy_names():
+            assert _spec(strategy=name).strategy == name
+
+    def test_label_names_the_search(self):
+        label = _spec().label()
+        for fragment in ("scenario-b", "n=32", "k=4", "anneal", "seed=7"):
+            assert fragment in label
+
+
+class TestSeedPopulation:
+    def test_structured_attacks_come_first(self):
+        spec = _spec()
+        rng = _step_generator(spec, spec.config_hash(), 0)
+        population = seed_population(spec, 16, rng)
+        assert len(population) == 16
+        assert all(isinstance(p, WakeupPattern) for p in population)
+        assert all(p.k == spec.k for p in population)
+        base = list(range(1, spec.k + 1))
+        assert population[0] == simultaneous_pattern(spec.n, spec.k, stations=base)
+        assert population[1] == staggered_pattern(spec.n, spec.k, gap=1, stations=base)
+
+    def test_small_count_truncates_the_structured_seeds(self):
+        spec = _spec()
+        rng = _step_generator(spec, spec.config_hash(), 0)
+        population = seed_population(spec, 3, rng)
+        assert len(population) == 3
+
+    def test_population_is_reproducible(self):
+        spec = _spec()
+        a = seed_population(spec, 12, _step_generator(spec, "h", 0))
+        b = seed_population(spec, 12, _step_generator(spec, "h", 0))
+        assert a == b
+
+
+class TestDriver:
+    def test_spends_exactly_the_budget(self):
+        result = adversarial_search(_spec(budget=50, population=16))
+        assert result.evaluated == 50  # last step truncated to 2 candidates
+        assert result.steps == 4
+        assert len(result.history) == 4
+
+    def test_best_certificate_matches_history_tail(self):
+        result = adversarial_search(_spec())
+        assert result.best.latency == result.history[-1]["best"]
+        assert result.best.spec_hash == result.spec.config_hash()
+        assert result.best.pattern().k == result.spec.k
+
+    def test_emits_obs_counters_and_gauges(self):
+        with obs.capture() as captured:
+            adversarial_search(_spec(budget=32, population=16))
+            snap = captured.snapshot()
+        counters = snap["counters"]
+        assert counters["adversary.steps"] == 2
+        assert counters["adversary.evaluated"] == 32
+        assert "adversary.accepted" in counters
+        assert "adversary.best_latency" in snap["gauges"]
+        assert snap["timings"]["adversary.search"][0] == 1
+
+
+class TestCheckpointing:
+    def test_checkpoint_written_per_step_and_resumed(self, tmp_path):
+        spec = _spec()
+        store = SweepStore(tmp_path)
+        first = adversarial_search(spec, store=store)
+        data = store.load_blob(f"adversary/{spec.config_hash()}")
+        assert data["schema"] == CHECKPOINT_SCHEMA
+        assert data["evaluated"] == spec.budget
+        # A re-run against the finished checkpoint does no new work.
+        again = adversarial_search(spec, store=store)
+        assert again.best == first.best
+        assert again.history == first.history
+
+    def test_checkpoints_do_not_pollute_the_record_store(self, tmp_path):
+        store = SweepStore(tmp_path)
+        adversarial_search(_spec(), store=store)
+        assert len(store) == 0  # blobs live beside records, not among them
+
+    def test_unsupported_checkpoint_schema_names_the_blob(self, tmp_path):
+        spec = _spec()
+        store = SweepStore(tmp_path)
+        key = f"adversary/{spec.config_hash()}"
+        store.save_blob(key, {"schema": 99, "spec": spec.as_dict()})
+        with pytest.raises(StoreSchemaError, match="99") as err:
+            adversarial_search(spec, store=store)
+        assert str(store.blob_path(key)) in str(err.value)
+
+    def test_spec_collision_is_rejected(self, tmp_path):
+        spec = _spec()
+        store = SweepStore(tmp_path)
+        other = _spec(budget=128).as_dict()
+        store.save_blob(
+            f"adversary/{spec.config_hash()}",
+            {"schema": CHECKPOINT_SCHEMA, "spec": other},
+        )
+        with pytest.raises(StoreSchemaError, match="different spec"):
+            adversarial_search(spec, store=store)
+
+
+class TestCheckpointSummaries:
+    def test_reports_one_row_per_search(self, tmp_path):
+        store = SweepStore(tmp_path)
+        specs = [_spec(), _spec(strategy="bandit")]
+        for spec in specs:
+            adversarial_search(spec, store=store)
+        rows = {row["hash"]: row for row in checkpoint_summaries(store)}
+        assert set(rows) == {spec.config_hash() for spec in specs}
+        for spec in specs:
+            row = rows[spec.config_hash()]
+            assert row["strategy"] == spec.strategy
+            assert row["evaluated"] == spec.budget
+            assert row["best_latency"] >= 1
+
+    def test_empty_store_reports_nothing(self, tmp_path):
+        assert checkpoint_summaries(SweepStore(tmp_path)) == []

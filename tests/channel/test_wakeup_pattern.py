@@ -84,3 +84,30 @@ class TestDerivedViews:
     def test_describe_mentions_key_parameters(self):
         text = WakeupPattern(8, {3: 0, 5: 6}).describe()
         assert "n=8" in text and "k=2" in text and "s=0" in text
+
+
+class TestWakeTimesCodec:
+    """encode_wake_times / decode_wake_times — the flat export form."""
+
+    def test_round_trip_is_exact(self):
+        from repro.channel.wakeup import decode_wake_times, encode_wake_times
+
+        wake_times = {7: 2, 3: 0, 5: 2}
+        text = encode_wake_times(wake_times)
+        assert text == "3@0;5@2;7@2"  # sorted by station, stable
+        assert decode_wake_times(text) == wake_times
+
+    def test_pattern_survives_the_codec(self):
+        from repro.channel.wakeup import decode_wake_times, encode_wake_times
+
+        p = WakeupPattern(64, {5: 0, 17: 3, 40: 9})
+        assert WakeupPattern(64, decode_wake_times(encode_wake_times(p.wake_times))) == p
+
+    @pytest.mark.parametrize(
+        "text", ["", "3@", "@2", "3@x;5@1", "3-0", "3@0;3@1", None, 42]
+    )
+    def test_malformed_encodings_fail_loudly(self, text):
+        from repro.channel.wakeup import decode_wake_times
+
+        with pytest.raises(ValueError):
+            decode_wake_times(text)

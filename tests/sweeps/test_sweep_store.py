@@ -134,3 +134,59 @@ class TestRecordSchema:
         store.path_for(CONFIG).write_text("{not json")
         with pytest.raises(StoreSchemaError, match="not valid JSON"):
             store.load(CONFIG)
+
+
+class TestBlobApi:
+    """The side-channel blob store checkpoints (adversary searches) ride on."""
+
+    def test_save_load_round_trip(self, tmp_path):
+        store = SweepStore(tmp_path)
+        payload = {"schema": 1, "state": {"temperature": 4.5}, "history": [1, 2]}
+        path = store.save_blob("adversary/abc123", payload)
+        assert path == store.blob_path("adversary/abc123")
+        assert store.load_blob("adversary/abc123") == payload
+
+    def test_missing_blob_loads_as_none(self, tmp_path):
+        assert SweepStore(tmp_path).load_blob("adversary/nothere") is None
+
+    def test_save_is_atomic_no_tmp_left_behind(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store.save_blob("adversary/abc123", {"schema": 1})
+        leftovers = [p for p in tmp_path.rglob("*") if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_blobs_do_not_count_as_records(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store.save_blob("adversary/abc123", {"schema": 1})
+        assert len(store) == 0
+        assert [p.stem for p in store.blobs("adversary")] == ["abc123"]
+
+    def test_blobs_lists_only_the_prefix(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store.save_blob("adversary/b", {"schema": 1})
+        store.save_blob("adversary/a", {"schema": 1})
+        store.save_blob("other/c", {"schema": 1})
+        assert [p.stem for p in store.blobs("adversary")] == ["a", "b"]
+        assert store.blobs("absent") == []
+
+    def test_corrupt_blob_is_rejected_naming_the_file(self, tmp_path):
+        store = SweepStore(tmp_path)
+        path = store.blob_path("adversary/torn")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{half a json")
+        with pytest.raises(StoreSchemaError, match="not valid JSON") as err:
+            store.load_blob("adversary/torn")
+        assert str(path) in str(err.value)
+
+    def test_non_object_blob_is_rejected(self, tmp_path):
+        store = SweepStore(tmp_path)
+        path = store.blob_path("adversary/list")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("[1, 2]")
+        with pytest.raises(StoreSchemaError, match="not a JSON object"):
+            store.load_blob("adversary/list")
+
+    @pytest.mark.parametrize("key", ["", "/abs", "a/../b"])
+    def test_path_escaping_keys_are_rejected(self, tmp_path, key):
+        with pytest.raises(ValueError, match="invalid blob key"):
+            SweepStore(tmp_path).blob_path(key)

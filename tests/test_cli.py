@@ -496,3 +496,78 @@ class TestVerifyMatrixCommand:
             ["verify-matrix", "--n", "32", "--attempts", "1", "--budget-factor", "0.001"]
         )
         assert exit_code == 1
+
+
+class TestAdversaryCommand:
+    SMALL = [
+        "--n", "32", "--k", "4", "--budget", "48", "--population", "16",
+        "--window", "64", "--max-slots", "20000", "--seed", "11",
+    ]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["adversary", "search"])
+        assert args.action == "search"
+        assert args.protocol == "scenario-b"
+        assert (args.n, args.k) == (256, 16)
+        assert args.strategy == "anneal"
+        assert args.budget == 2048
+        assert args.max_slots == 200_000
+
+    def test_unknown_strategy_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["adversary", "search", "--strategy", "psychic"])
+
+    def test_search_prints_best_and_progress(self, capsys):
+        assert main(["adversary", "search", *self.SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "step 1:" in out and "step 3:" in out
+        assert "best: scenario-b n=32 k=4 [anneal]" in out
+        assert "pattern:" in out
+
+    def test_search_export_then_replay_round_trips(self, capsys, tmp_path):
+        cert = tmp_path / "worst.json"
+        assert main(["adversary", "search", *self.SMALL, "--certificate", str(cert)]) == 0
+        assert f"wrote {cert}" in capsys.readouterr().out
+        assert main(["adversary", "replay", "--certificate", str(cert)]) == 0
+        out = capsys.readouterr().out
+        assert "replay OK" in out
+        assert "recorded:" in out and "replayed:" in out
+
+    def test_replay_mismatch_fails(self, capsys, tmp_path):
+        cert = tmp_path / "worst.json"
+        assert main(["adversary", "search", *self.SMALL, "--certificate", str(cert)]) == 0
+        capsys.readouterr()
+        data = json.loads(cert.read_text())
+        data["latency"] += 1
+        cert.write_text(json.dumps(data))
+        assert main(["adversary", "replay", "--certificate", str(cert)]) == 1
+        assert "REPLAY MISMATCH" in capsys.readouterr().out
+
+    def test_replay_corrupt_certificate_is_usage_error(self, capsys, tmp_path):
+        cert = tmp_path / "torn.json"
+        cert.write_text("{not json")
+        assert main(["adversary", "replay", "--certificate", str(cert)]) == 2
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err and str(cert) in err
+
+    def test_replay_requires_certificate(self, capsys):
+        assert main(["adversary", "replay"]) == 2
+        assert "--certificate" in capsys.readouterr().err
+
+    def test_search_with_store_then_report(self, capsys, tmp_path):
+        store = tmp_path / "adversary-store"
+        assert main(["adversary", "search", *self.SMALL, "--store", str(store)]) == 0
+        assert "checkpoint:" in capsys.readouterr().out
+        assert main(["adversary", "report", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario-b" in out
+        assert "48/48" in out  # evaluated/budget
+        assert "1 search(es) checkpointed" in out
+
+    def test_report_requires_store(self, capsys):
+        assert main(["adversary", "report"]) == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_invalid_shape_is_usage_error(self, capsys):
+        assert main(["adversary", "search", "--n", "4", "--k", "9"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -56,6 +56,7 @@ class TestReadme:
             "bench_obs_overhead.py",
             "bench_backend_throughput.py",
             "bench_paper_campaign.py",
+            "bench_adversary_search.py",
         ):
             assert bench in readme_text, f"README.md speedup table misses {bench}"
 
@@ -103,6 +104,29 @@ class TestDocsDirectory:
         ):
             assert anchor in text, f"docs/campaign.md misses {anchor!r}"
 
+    def test_adversary_doc_covers_the_contract(self):
+        # docs/adversary.md documents the guided search; the anchors below
+        # are its load-bearing concepts — strategies, budget/seed semantics,
+        # the certificate format and the replay contract.
+        text = (DOCS / "adversary.md").read_text()
+        for anchor in (
+            "repro adversary",
+            "SearchSpec",
+            "adversarial_search",
+            "SearchCertificate",
+            "replay_certificate",
+            "anneal",
+            "evolution",
+            "bandit",
+            "budget",
+            "spec_hash",
+            "config_hash",
+            "StoreSchemaError",
+            "CertificateSchemaError",
+            "worst_case_search",
+        ):
+            assert anchor in text, f"docs/adversary.md misses {anchor!r}"
+
     def test_architecture_doc_names_the_three_layers(self):
         text = (DOCS / "architecture.md").read_text()
         for anchor in (
@@ -138,6 +162,7 @@ class TestCliDocstring:
         commands = _subcommands()
         number_words = {
             4: "Four", 5: "Five", 6: "Six", 7: "Seven", 8: "Eight", 9: "Nine",
+            10: "Ten",
         }
         expected = number_words.get(len(commands), str(len(commands)))
         assert f"{expected} subcommands" in cli.__doc__, (

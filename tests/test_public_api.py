@@ -40,6 +40,7 @@ class TestPublicSurface:
             "repro.engine",
             "repro.workloads",
             "repro.sweeps",
+            "repro.adversary",
             "repro.cli",
         ):
             assert importlib.import_module(module) is not None
