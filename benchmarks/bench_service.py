@@ -1,0 +1,88 @@
+"""The results service's memoization tier: warm queries must be ~free.
+
+The whole point of :mod:`repro.service` is that a query whose config hash is
+already in the shared :class:`~repro.sweeps.store.SweepStore` is a pure store
+lookup — zero engine work.  This gate resolves one engine-heavy config cold
+through :class:`~repro.service.daemon.ResultsService`, reissues it warm, and
+asserts
+
+* **speedup** — the warm query is >= 50x cheaper than the cold resolve;
+* **zero recomputation** — the warm queries all count as ``hits`` (the
+  service's miss counter never moves again);
+* **bit-for-bit equality** — the rendered response body is identical warm
+  and cold, and identical to the direct batch-path resolve of the same
+  config (:func:`repro.sweeps.runner.resolve_config`).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.service import ResultsService, normalize_query, render_response
+from repro.sweeps import SweepStore
+from repro.sweeps.runner import resolve_config
+
+#: One engine-heavy measurement: scenario B's selective-family construction
+#: dominates the cold resolve, which is exactly the work a warm hit skips.
+QUERY = {"protocol": "scenario-b", "n": 256, "k": 16, "batch": 64}
+
+#: Warm repetitions; the fastest one is the steady-state lookup cost.
+WARM_ROUNDS = 20
+
+
+def test_warm_service_query_is_at_least_50x(record_gate, tmp_path):
+    """Regression gate: a store hit answers >= 50x faster than a cold miss."""
+    config = normalize_query(QUERY)
+    with ResultsService(SweepStore(tmp_path / "service-store"), workers=0) as service:
+        t0 = time.perf_counter()
+        cold_record, cold_cached = service.resolve(config)
+        cold_time = time.perf_counter() - t0
+        assert not cold_cached and service.misses == 1
+
+        warm_times = []
+        for _ in range(WARM_ROUNDS):
+            t0 = time.perf_counter()
+            warm_record, warm_cached = service.resolve(config)
+            warm_times.append(time.perf_counter() - t0)
+            assert warm_cached
+        warm_time = min(warm_times)
+        assert service.hits == WARM_ROUNDS and service.misses == 1
+
+    # The canonical response body is byte-identical warm vs cold, and both
+    # match the direct batch-path resolve of the same config.
+    cold_body = render_response(cold_record)
+    assert render_response(warm_record) == cold_body
+    assert render_response(resolve_config(config)) == cold_body
+
+    speedup = cold_time / warm_time
+    rate = 1.0 / warm_time
+    print(
+        f"service query ({config.protocol} n={config.n} k={config.k} "
+        f"batch={config.batch}, hash {config.config_hash()}): "
+        f"cold {cold_time * 1e3:.1f}ms, warm {warm_time * 1e3:.3f}ms, "
+        f"speedup {speedup:.0f}x, {rate:.0f} warm requests/sec"
+    )
+    # Record before asserting so a regression still lands in the trajectory.
+    record_gate(
+        "service_query",
+        threshold=50.0,
+        unit="x",
+        measurements=[
+            {
+                "protocol": config.protocol,
+                "hash": config.config_hash(),
+                "speedup": round(speedup, 1),
+                "rate": round(rate, 1),
+                "cold_ms": round(cold_time * 1e3, 3),
+                "warm_ms": round(warm_time * 1e3, 4),
+            }
+        ],
+    )
+    assert speedup >= 50.0, (
+        f"warm service query only {speedup:.1f}x over cold "
+        f"(cold {cold_time * 1e3:.1f}ms, warm {warm_time * 1e3:.3f}ms)"
+    )

@@ -95,6 +95,11 @@ from repro.experiments import (
     generate_experiments_report,
     run_experiment,
 )
+from repro.service import (
+    ResultsService,
+    ServiceClient,
+    normalize_query,
+)
 from repro.sweeps import (
     SweepConfig,
     SweepResult,
@@ -164,6 +169,10 @@ __all__ = [
     "run_deterministic_batch",
     "run_feedback_batch",
     "run_randomized_batch",
+    # results service
+    "ResultsService",
+    "ServiceClient",
+    "normalize_query",
     # sweep orchestration
     "SweepConfig",
     "SweepResult",

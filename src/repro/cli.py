@@ -1,6 +1,6 @@
 """Command-line interface for the repro library.
 
-Ten subcommands cover the workflows a user needs without writing Python:
+Eleven subcommands cover the workflows a user needs without writing Python:
 
 ``simulate``
     Build one protocol, one wake-up pattern, run the simulation and print the
@@ -62,6 +62,18 @@ Ten subcommands cover the workflows a user needs without writing Python:
     search resumes at its last completed step; results are bit-for-bit
     identical for any ``--workers`` count and across interrupt/resume.
 
+``service``
+    The long-lived results service (:mod:`repro.service`): ``start`` runs a
+    worker-pool daemon over a shared :class:`~repro.sweeps.store.SweepStore`
+    behind a stdlib-HTTP front door; ``query`` asks it for one measurement
+    (protocol + n/k/workload/seed/scale knobs, or any E1–E11 campaign cell
+    via ``--experiment``) and prints the canonical response body — warm
+    hits are pure store lookups, misses are computed once and cached.
+    Without a reachable daemon, ``query`` falls back to in-process
+    resolution against the same store; either path is byte-for-byte
+    identical for the same config hash.  ``status`` prints the daemon's
+    live counters; ``stop`` shuts it down.
+
 ``bench``
     Benchmark-trajectory analytics (:mod:`repro.obs.bench`): ``compare`` two
     or more ``BENCH_results.json`` artifacts — file paths or git revisions
@@ -99,6 +111,12 @@ Examples
         --strategy anneal --budget 2048 --store adversary-store --certificate worst.json
     python -m repro adversary replay --certificate worst.json
     python -m repro adversary report --store adversary-store
+    python -m repro service start --store service-store --port 8791 --workers 4
+    python -m repro service query --store service-store --protocol scenario-b \\
+        --n 256 --k 16
+    python -m repro service query --store service-store --experiment E4 --limit 2
+    python -m repro service status --store service-store
+    python -m repro service stop --store service-store
     python -m repro bench compare BENCH_baseline.json BENCH_results.json --tolerance 0.25
     python -m repro obs report sweep-trace.jsonl
 """
@@ -171,6 +189,7 @@ subcommands:
   workloads      list/sample the workload suite or run a batch
   sweep          run, resume or inspect a config-grid sweep (supports --trace)
   adversary      guided adversarial search with replayable certificates
+  service        start/query/stop the long-lived results daemon over a store
   bench          compare BENCH_results.json artifacts across runs/revisions
   obs            summarize a JSONL trace (top spans, counters, configs/sec)
 """
@@ -399,6 +418,76 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="PATH",
         help="record a JSONL observability trace of the search to PATH "
         "(plus PATH.manifest.json); see `repro obs report`",
+    )
+
+    service = subparsers.add_parser(
+        "service",
+        help="start/query/stop the long-lived results daemon over a store",
+        description="Serve measurement queries from a shared result store via "
+        "repro.service: `start` runs a worker-pool daemon behind a stdlib "
+        "HTTP door, `query` asks for one config (or E1-E11 campaign cells "
+        "via --experiment) and prints the canonical response body — warm "
+        "hits are pure store lookups, misses compute once and cache. "
+        "Without a reachable daemon, `query` resolves in-process against "
+        "the same store; responses are byte-identical either way. Examples: "
+        "`repro service start --store service-store --port 8791 --workers "
+        "4`; `repro service query --store service-store --protocol "
+        "scenario-b --n 256 --k 16`; `repro service stop --store "
+        "service-store`.",
+    )
+    service.add_argument("action", choices=("start", "query", "status", "stop"))
+    service.add_argument(
+        "--store", default=None,
+        help="result-store directory the daemon serves (start: required; "
+        "query/status/stop: used to discover a running daemon's endpoint "
+        "and, for query, as the in-process fallback store)",
+    )
+    service.add_argument(
+        "--url", default=None, metavar="URL",
+        help="explicit daemon endpoint, e.g. http://127.0.0.1:8791 "
+        "(overrides --store discovery; disables the in-process fallback)",
+    )
+    service.add_argument("--host", default="127.0.0.1", help="bind address for `start`")
+    service.add_argument(
+        "--port", type=int, default=0,
+        help="bind port for `start` (0 = OS-assigned; the bound endpoint is "
+        "published into the store either way)",
+    )
+    service.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes for cold queries (start; 0 = resolve inline; "
+        "responses are identical for any value)",
+    )
+    service.add_argument("--protocol", choices=sorted(PROTOCOLS), default="scenario-b")
+    service.add_argument("--n", type=int, default=256, help="number of attached stations")
+    service.add_argument("--k", type=int, default=16, help="number of awakened stations")
+    service.add_argument("--workload", default="uniform", help="workload name")
+    service.add_argument("--batch", type=int, default=64, help="patterns per config")
+    service.add_argument("--seed", type=int, default=0, help="base seed of the config")
+    service.add_argument("--max-slots", type=int, default=200_000)
+    service.add_argument(
+        "--protocol-param", action="append", default=None, metavar="KEY=VALUE",
+        help="protocol constructor override (repeatable)",
+    )
+    service.add_argument(
+        "--experiment", default=None, metavar="EXPERIMENT",
+        help="query every campaign cell of one E1-E11 experiment instead of "
+        "a single config (prints a summary table, not raw bodies)",
+    )
+    service.add_argument("--scale", choices=sorted(_SCALES), default="quick")
+    service.add_argument(
+        "--limit", type=int, default=None,
+        help="only the first LIMIT cells of --experiment",
+    )
+    service.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="array backend for resolutions (start / in-process query): "
+        "numpy, numexpr, cupy or auto; results are backend-independent",
+    )
+    service.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a JSONL observability trace of the daemon to PATH "
+        "(start action; plus PATH.manifest.json); see `repro obs report`",
     )
 
     bench = subparsers.add_parser(
@@ -863,6 +952,204 @@ def _cmd_adversary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_param_overrides(pairs: Optional[List[str]]) -> dict:
+    """``--protocol-param KEY=VALUE`` pairs into a params mapping."""
+    overrides = {}
+    for pair in pairs or ():
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"--protocol-param expects KEY=VALUE, got {pair!r}")
+        try:
+            value: object = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        overrides[key] = value
+    return overrides
+
+
+def _cmd_service(args: argparse.Namespace) -> int:
+    """``repro service``: the long-lived results daemon and its clients."""
+    from repro.service import (
+        QueryError,
+        ResultsService,
+        ServiceClient,
+        discover_endpoint,
+        experiment_queries,
+        normalize_query,
+        parse_response,
+        render_response,
+        serve,
+    )
+
+    if args.action == "start":
+        if not args.store:
+            print("error: `service start` requires --store", file=sys.stderr)
+            return 2
+        store = SweepStore(args.store)
+        try:
+            service = ResultsService(store, workers=args.workers, backend=args.backend)
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        with _tracing(args.trace, argv=getattr(args, "raw_argv", None)):
+            try:
+                with service:
+                    serve(
+                        service,
+                        host=args.host,
+                        port=args.port,
+                        announce=lambda endpoint: print(
+                            f"service listening on {endpoint} (store {store.root})",
+                            flush=True,
+                        ),
+                    )
+            except KeyboardInterrupt:
+                pass
+            except OSError as exc:
+                print(
+                    f"error: cannot serve on {args.host}:{args.port}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+        status = service.status()
+        print(
+            f"service stopped after {status['requests']} request(s): "
+            f"{status['hits']} hit(s), {status['misses']} miss(es)"
+        )
+        return 0
+
+    store = SweepStore(args.store) if args.store else None
+    endpoint = args.url or (discover_endpoint(store) if store is not None else None)
+    client: Optional[ServiceClient] = ServiceClient(endpoint) if endpoint else None
+
+    if args.action in ("status", "stop"):
+        if client is None:
+            print(
+                "error: no service endpoint — pass --url or the --store of a "
+                "running daemon",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            if args.action == "stop":
+                client.stop()
+                print(f"service at {endpoint} is stopping")
+                return 0
+            status = client.status()
+        except (QueryError, OSError) as exc:
+            print(f"error: no service reachable at {endpoint}: {exc}", file=sys.stderr)
+            return 2
+        print(f"endpoint : {endpoint}")
+        fields = ("store", "records", "requests", "hits", "misses", "inflight", "workers")
+        for field in fields:
+            print(f"{field:<9}: {status.get(field)}")
+        print(f"uptime   : {status.get('uptime_s')}s (pid {status.get('pid')})")
+        return 0
+
+    # -- query ---------------------------------------------------------------
+    try:
+        if args.experiment:
+            configs = experiment_queries(
+                args.experiment, _SCALES[args.scale], limit=args.limit
+            )
+        else:
+            configs = [
+                normalize_query(
+                    {
+                        "protocol": args.protocol,
+                        "n": args.n,
+                        "k": args.k,
+                        "workload": args.workload,
+                        "batch": args.batch,
+                        "seed": args.seed,
+                        "max_slots": args.max_slots,
+                        "protocol_params": _parse_param_overrides(args.protocol_param),
+                    }
+                )
+            ]
+    except (QueryError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    fallback: Optional[ResultsService] = None
+
+    def resolve_body(config) -> tuple:
+        """One config -> (canonical body text, cache status)."""
+        nonlocal client, fallback
+        if client is not None:
+            try:
+                body, cache = client.query_raw(config.as_dict())
+                return body.decode("utf-8"), cache
+            except OSError as exc:
+                if args.url or store is None:
+                    raise
+                print(
+                    f"warning: service at {endpoint} unreachable ({exc}); "
+                    "resolving in-process",
+                    file=sys.stderr,
+                )
+                client = None
+        if store is None:
+            raise OSError("no --store to resolve against")
+        if fallback is None:
+            fallback = ResultsService(store, workers=0, backend=args.backend)
+        record, cached = fallback.resolve(config)
+        return render_response(record), "hit" if cached else "miss"
+
+    if client is None and store is None:
+        print(
+            "error: `service query` needs --url (a running daemon) or --store "
+            "(in-process fallback)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.experiment:
+            table = TextTable(
+                ["hash", "protocol", "n", "k", "workload", "seed", "cache", "mean latency"]
+            )
+            hits = 0
+            for config in configs:
+                body, cache = resolve_body(config)
+                payload = parse_response(body)
+                summary = payload["record"]["summary"]
+                hits += cache == "hit"
+                table.add_row(
+                    [
+                        payload["hash"],
+                        config.protocol,
+                        config.n,
+                        config.k,
+                        config.workload,
+                        config.seed,
+                        cache,
+                        round(summary.get("mean_latency", float("nan")), 1),
+                    ]
+                )
+            print(table.render())
+            print(
+                f"{len(configs)} cell(s) of {args.experiment.upper()}: "
+                f"{hits} hit(s), {len(configs) - hits} miss(es)"
+            )
+            return 0
+        body, _cache = resolve_body(configs[0])
+        sys.stdout.write(body)
+        return 0
+    except QueryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: no service reachable at {endpoint}: {exc}", file=sys.stderr)
+        return 2
+    except (KeyError, TypeError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """``repro bench compare``: diff benchmark artifacts, fail on drift."""
     try:
@@ -927,6 +1214,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "workloads": _cmd_workloads,
         "sweep": _cmd_sweep,
         "adversary": _cmd_adversary,
+        "service": _cmd_service,
         "bench": _cmd_bench,
         "obs": _cmd_obs,
     }

@@ -1,0 +1,100 @@
+"""Thin stdlib HTTP client for the results service.
+
+:class:`ServiceClient` speaks the daemon's three endpoints (``/query``,
+``/status``, ``/stop``) over ``urllib`` — no new dependencies, symmetric
+with the server's stdlib ``http.server``.  :meth:`ServiceClient.query_raw`
+returns the response body *bytes* untouched, because the service contract is
+byte-level: the CLI prints exactly what the daemon sent, so a warm and a
+cold query for the same config hash compare equal with ``cmp``.
+
+:func:`discover_endpoint` reads the endpoint blob a running daemon publishes
+into its store (see :func:`repro.service.daemon.serve`), which is how
+``repro service query --store DIR`` finds the daemon without being told a
+URL.  A stale blob (daemon killed without cleanup) surfaces as the usual
+connection error; callers fall back to in-process resolution.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.service.api import QueryError
+from repro.service.daemon import ENDPOINT_BLOB
+from repro.sweeps.store import StoreSchemaError, SweepStore
+
+__all__ = ["ServiceClient", "discover_endpoint"]
+
+
+def discover_endpoint(store: SweepStore) -> Optional[str]:
+    """The endpoint URL a running daemon published into ``store``, if any."""
+    try:
+        blob = store.load_blob(ENDPOINT_BLOB)
+    except StoreSchemaError:
+        return None
+    if blob is None:
+        return None
+    endpoint = blob.get("endpoint")
+    return endpoint if isinstance(endpoint, str) else None
+
+
+class ServiceClient:
+    """One service endpoint, e.g. ``http://127.0.0.1:8791``."""
+
+    def __init__(self, endpoint: str, *, timeout: float = 300.0) -> None:
+        self.endpoint = endpoint.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Mapping[str, object]] = None
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        data = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.endpoint + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.status, response.read(), dict(response.headers)
+        except urllib.error.HTTPError as exc:
+            # Error responses still carry a JSON body; connection-level
+            # failures (URLError and friends) propagate as OSError.
+            return exc.code, exc.read(), dict(exc.headers or {})
+
+    @staticmethod
+    def _error_message(body: bytes) -> str:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            return str(payload["error"])
+        except (ValueError, KeyError, UnicodeDecodeError):
+            return body.decode("utf-8", errors="replace").strip() or "unknown error"
+
+    def query_raw(self, query: Mapping[str, object]) -> Tuple[bytes, str]:
+        """POST one query; returns ``(body_bytes, cache)`` untouched.
+
+        ``cache`` is the daemon's ``X-Repro-Cache`` header (``hit`` or
+        ``miss``).  Non-200 answers raise :class:`QueryError` with the
+        daemon's error message.
+        """
+        status, body, headers = self._request("POST", "/query", query)
+        if status != 200:
+            raise QueryError(self._error_message(body))
+        return body, headers.get("X-Repro-Cache", "unknown")
+
+    def status(self) -> Dict[str, object]:
+        """GET the daemon's live counters."""
+        status, body, _ = self._request("GET", "/status")
+        if status != 200:
+            raise QueryError(self._error_message(body))
+        return json.loads(body.decode("utf-8"))
+
+    def stop(self) -> Dict[str, object]:
+        """POST /stop; the daemon acknowledges, then shuts down."""
+        status, body, _ = self._request("POST", "/stop")
+        if status != 200:
+            raise QueryError(self._error_message(body))
+        return json.loads(body.decode("utf-8"))

@@ -9,8 +9,32 @@ just summary statistics — so a resumed sweep returns results bit-for-bit
 identical to an uninterrupted serial run, and a stored record can be lifted
 back into a :class:`~repro.engine.BatchResult` for further analysis.
 
-Writes are atomic (temp file + :func:`os.replace`), so a crash mid-write
-never leaves a truncated record behind for a resume to trip over.
+Concurrency contract
+--------------------
+
+The store has no locks; its coordination primitive is the atomic
+single-file write.  Every :meth:`SweepStore.save` (and
+:meth:`SweepStore.save_blob`) writes to a writer-unique temp file in the
+destination directory and publishes it with :func:`os.replace` — atomic on
+POSIX and NTFS alike — which gives three guarantees that multiple processes
+sharing one store (sweep workers, the paper campaign, the
+:mod:`repro.service` daemon, an overlapping ``repro sweep run``) rely on:
+
+* **no torn reads** — a reader observes either the previous intact record
+  or the new intact record, never a partial write; a crash mid-write leaves
+  only a stray ``*.tmp`` file, never a truncated record;
+* **last writer wins** — two writers racing on the same config hash both
+  land intact records and the later :func:`os.replace` silently replaces
+  the earlier one.  This is safe *by construction of the key*: records are
+  keyed by the config's content hash and resolution is deterministic in the
+  config content alone, so racing writers are writing byte-identical
+  payloads and it cannot matter which one survives
+  (``tests/sweeps/test_sweep_store.py`` holds the same-content tolerance
+  test);
+* **read-modify-write is not provided** — records and blobs are replaced
+  whole.  Drivers that need cross-record state (campaign manifests,
+  adversary checkpoints) keep it in writer-owned blobs instead of mutating
+  shared ones.
 
 Record files are versioned: every record carries a ``schema`` field and
 :func:`load_record` is the single gate that lifts on-disk JSON back into a

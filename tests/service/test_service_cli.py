@@ -1,0 +1,165 @@
+"""Tests for ``repro service``: the CLI front of the results service.
+
+Covers the daemonless fallback (``query`` resolves in-process against the
+store and prints the canonical body — twice, byte-identically), campaign-cell
+queries via ``--experiment``, the full start/query/status/stop lifecycle
+against a daemon running in a background thread, and the usage-error paths
+(exit code 2, message on stderr, exactly like every other subcommand).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.service import discover_endpoint
+from repro.service.api import parse_response
+from repro.sweeps.store import SweepStore
+
+QUERY_ARGS = [
+    "--protocol",
+    "round-robin",
+    "--n",
+    "32",
+    "--k",
+    "4",
+    "--batch",
+    "8",
+    "--max-slots",
+    "10000",
+]
+PINNED_HASH = "2d58865d4a8e4a0b"
+
+
+class TestQueryFallback:
+    def test_query_twice_is_byte_identical(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["service", "query", "--store", store, *QUERY_ARGS]) == 0
+        first = capsys.readouterr().out
+        assert main(["service", "query", "--store", store, *QUERY_ARGS]) == 0
+        second = capsys.readouterr().out
+        assert second == first
+        payload = parse_response(first)
+        assert payload["hash"] == PINNED_HASH
+        assert len(SweepStore(store)) == 1
+
+    def test_protocol_param_overrides_reach_the_config(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        code = main(
+            [
+                "service",
+                "query",
+                "--store",
+                store,
+                "--protocol",
+                "scenario-c",
+                "--n",
+                "32",
+                "--k",
+                "4",
+                "--batch",
+                "4",
+                "--max-slots",
+                "20000",
+                "--protocol-param",
+                "c=3",
+            ]
+        )
+        assert code == 0
+        payload = parse_response(capsys.readouterr().out)
+        assert payload["record"]["config"]["protocol_params"] == {"c": 3}
+        assert payload["hash"] != PINNED_HASH
+
+    def test_experiment_cells_resolve_to_a_summary_table(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        args = ["service", "query", "--store", store, "--experiment", "E4"]
+        assert main([*args, "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1 cell(s) of E4: 0 hit(s), 1 miss(es)" in out
+        assert main([*args, "--limit", "1"]) == 0
+        assert "1 cell(s) of E4: 1 hit(s), 0 miss(es)" in capsys.readouterr().out
+
+
+class TestDaemonLifecycle:
+    @pytest.fixture
+    def daemon(self, tmp_path):
+        """``repro service start`` in a thread; yields its store path."""
+        store = str(tmp_path / "store")
+        thread = threading.Thread(
+            target=main,
+            args=(["service", "start", "--store", store, "--workers", "0"],),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.monotonic() + 10
+        while discover_endpoint(SweepStore(store)) is None:
+            assert time.monotonic() < deadline, "daemon never published its endpoint"
+            time.sleep(0.02)
+        yield store
+        if thread.is_alive():
+            main(["service", "stop", "--store", store])
+            thread.join(timeout=10)
+
+    def test_query_status_stop_roundtrip(self, daemon, capsys):
+        assert main(["service", "query", "--store", daemon, *QUERY_ARGS]) == 0
+        cold = capsys.readouterr().out
+        assert main(["service", "query", "--store", daemon, *QUERY_ARGS]) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+        assert parse_response(cold)["hash"] == PINNED_HASH
+
+        assert main(["service", "status", "--store", daemon]) == 0
+        status = capsys.readouterr().out
+        assert "hits     : 1" in status
+        assert "misses   : 1" in status
+
+        assert main(["service", "stop", "--store", daemon]) == 0
+        assert "stopping" in capsys.readouterr().out
+
+    def test_daemon_and_fallback_answers_are_byte_identical(
+        self, daemon, tmp_path, capsys
+    ):
+        assert main(["service", "query", "--store", daemon, *QUERY_ARGS]) == 0
+        via_daemon = capsys.readouterr().out
+        offline = str(tmp_path / "offline-store")
+        assert main(["service", "query", "--store", offline, *QUERY_ARGS]) == 0
+        assert capsys.readouterr().out == via_daemon
+
+
+class TestUsageErrors:
+    def test_start_requires_store(self, capsys):
+        assert main(["service", "start"]) == 2
+        assert "requires --store" in capsys.readouterr().err
+
+    def test_query_needs_url_or_store(self, capsys):
+        assert main(["service", "query", *QUERY_ARGS]) == 2
+        assert "--url" in capsys.readouterr().err
+
+    def test_status_without_a_daemon(self, tmp_path, capsys):
+        assert main(["service", "status", "--store", str(tmp_path / "empty")]) == 2
+        assert "no service endpoint" in capsys.readouterr().err
+
+    def test_unreachable_url_is_a_usage_error(self, capsys):
+        assert main(["service", "status", "--url", "http://127.0.0.1:1"]) == 2
+        assert "no service reachable" in capsys.readouterr().err
+
+    def test_invalid_query_shape(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        args = ["service", "query", "--store", store, "--n", "4", "--k", "32"]
+        assert main(args) == 2
+        assert "invalid query" in capsys.readouterr().err
+
+    def test_malformed_protocol_param(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        args = ["service", "query", "--store", store, "--protocol-param", "nope"]
+        assert main(args) == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_render_only_experiment(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        args = ["service", "query", "--store", store, "--experiment", "E7"]
+        assert main(args) == 2
+        assert "render-only" in capsys.readouterr().err

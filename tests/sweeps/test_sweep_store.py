@@ -94,6 +94,73 @@ class TestSweepStore:
         assert loaded == {CONFIG.config_hash(): record}
 
 
+def _hammer_save(root: str, repeats: int) -> None:
+    """Child-process body for the cross-process write race."""
+    store = SweepStore(root)
+    record = resolve_config(CONFIG)
+    for _ in range(repeats):
+        store.save(record)
+
+
+class TestConcurrencyContract:
+    """The documented no-locks contract (see the store module docstring):
+    atomic whole-file writes, last writer wins, same content tolerated."""
+
+    def test_cross_process_same_content_race_is_tolerated(self, tmp_path):
+        # The service daemon and an overlapping `repro sweep run` may save
+        # the same config hash at the same time from different processes.
+        # Resolution is deterministic in the config content, so the racers
+        # write identical payloads: whichever os.replace lands last wins
+        # with an intact record and the race is unobservable.
+        import multiprocessing
+
+        store = SweepStore(tmp_path / "store")
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=_hammer_save, args=(str(store.root), 5))
+            for _ in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+        assert [p.exitcode for p in procs] == [0, 0, 0, 0]
+        assert store.load(CONFIG) == resolve_config(CONFIG)
+        assert list(store.root.glob("*.tmp")) == []
+        assert len(store) == 1
+
+    def test_same_content_writers_produce_identical_bytes(self, tmp_path):
+        # Why last-writer-wins is safe by construction: two independent
+        # resolutions of one config serialize byte-identically, so which
+        # writer survives the race cannot matter.
+        path_a = SweepStore(tmp_path / "a").save(resolve_config(CONFIG))
+        path_b = SweepStore(tmp_path / "b").save(resolve_config(CONFIG))
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+    def test_reader_never_observes_a_torn_record(self, tmp_path):
+        # Readers racing a writer see the previous or the new intact record,
+        # never a partial file: os.replace publishes whole files only.
+        import threading
+
+        store = SweepStore(tmp_path / "store")
+        record = resolve_config(CONFIG)
+        store.save(record)
+        stop = threading.Event()
+
+        def rewrite_forever():
+            while not stop.is_set():
+                store.save(record)
+
+        writer = threading.Thread(target=rewrite_forever)
+        writer.start()
+        try:
+            for _ in range(200):
+                assert store.load(CONFIG) == record
+        finally:
+            stop.set()
+            writer.join()
+
+
 class TestRecordSchema:
     def test_legacy_version_1_records_still_load(self, tmp_path):
         # Records written before the schema field carried "version": 1 with

@@ -57,6 +57,7 @@ class TestReadme:
             "bench_backend_throughput.py",
             "bench_paper_campaign.py",
             "bench_adversary_search.py",
+            "bench_service.py",
         ):
             assert bench in readme_text, f"README.md speedup table misses {bench}"
 
@@ -127,6 +128,31 @@ class TestDocsDirectory:
         ):
             assert anchor in text, f"docs/adversary.md misses {anchor!r}"
 
+    def test_service_doc_covers_the_contract(self):
+        # docs/service.md documents the results service; the anchors below
+        # are its load-bearing concepts — the four CLI actions, the query
+        # normalization gate, the warm/cold semantics and the obs counters.
+        text = (DOCS / "service.md").read_text()
+        for anchor in (
+            "repro service start",
+            "repro service query",
+            "repro service status",
+            "repro service stop",
+            "normalize_query",
+            "ResultsService",
+            "config_hash",
+            "X-Repro-Cache",
+            "service.hits",
+            "service.misses",
+            "service.requests",
+            "service.request_seconds",
+            "service/endpoint.json",
+            "single-flight",
+            "last-writer-wins",
+            "bench_service.py",
+        ):
+            assert anchor in text, f"docs/service.md misses {anchor!r}"
+
     def test_architecture_doc_names_the_three_layers(self):
         text = (DOCS / "architecture.md").read_text()
         for anchor in (
@@ -162,7 +188,7 @@ class TestCliDocstring:
         commands = _subcommands()
         number_words = {
             4: "Four", 5: "Five", 6: "Six", 7: "Seven", 8: "Eight", 9: "Nine",
-            10: "Ten",
+            10: "Ten", 11: "Eleven",
         }
         expected = number_words.get(len(commands), str(len(commands)))
         assert f"{expected} subcommands" in cli.__doc__, (

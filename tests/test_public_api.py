@@ -41,6 +41,7 @@ class TestPublicSurface:
             "repro.workloads",
             "repro.sweeps",
             "repro.adversary",
+            "repro.service",
             "repro.cli",
         ):
             assert importlib.import_module(module) is not None
